@@ -1,0 +1,278 @@
+//! Influence maximization under the independent-cascade model.
+//!
+//! The paper motivates TS-SpGEMM with influence maximization (§I, citing
+//! Minutoli et al. \[12\]): estimating the spread of candidate seed vertices
+//! means running many concurrent reachability queries over sampled
+//! "live-edge" graphs — exactly multi-source BFS, i.e. TS-SpGEMM with the
+//! `(∧,∨)` semiring.
+//!
+//! The implementation is the classic Monte-Carlo greedy: for each of `R`
+//! samples, every edge survives independently with probability `edge_prob`;
+//! the reachable set of all `c` candidate seeds in one sample is **one**
+//! multi-source BFS (an `n × c` boolean TS-SpGEMM per wave). Greedy then
+//! selects `k` seeds by marginal coverage gain over the union of samples,
+//! with coverage bookkeeping kept distributed (each rank counts its own
+//! rows; one AllReduce per round).
+
+use crate::msbfs::{msbfs_ts, BfsConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tsgemm_core::colpart::ColBlocks;
+use tsgemm_core::dist::DistCsr;
+use tsgemm_core::exec::TsConfig;
+use tsgemm_net::Comm;
+use tsgemm_sparse::semiring::BoolAndOr;
+use tsgemm_sparse::{Csr, Idx};
+
+/// Configuration of an influence-maximization run.
+#[derive(Clone, Debug)]
+pub struct InfluenceConfig {
+    /// Seeds to select.
+    pub k: usize,
+    /// Candidate pool size (the BFS batch width `d`).
+    pub candidates: usize,
+    /// Monte-Carlo live-edge samples.
+    pub samples: usize,
+    /// Independent-cascade edge activation probability.
+    pub edge_prob: f64,
+    pub seed: u64,
+    pub tag: String,
+}
+
+impl Default for InfluenceConfig {
+    fn default() -> Self {
+        Self {
+            k: 4,
+            candidates: 32,
+            samples: 8,
+            edge_prob: 0.3,
+            seed: 17,
+            tag: "infl".to_string(),
+        }
+    }
+}
+
+/// Deterministic per-edge coin shared by all ranks: hashes (seed, sample,
+/// src, dst) so the same edge gets the same fate everywhere.
+fn edge_alive(seed: u64, sample: u64, src: Idx, dst: Idx, p: f64) -> bool {
+    let mut h = seed
+        .wrapping_mul(0x9E3779B97F4A7C15)
+        .wrapping_add(sample.wrapping_mul(0xD1B54A32D192ED03));
+    h ^= (src as u64).wrapping_mul(0x94D049BB133111EB);
+    h ^= (dst as u64).wrapping_mul(0xBF58476D1CE4E5B9);
+    h ^= h >> 29;
+    h = h.wrapping_mul(0xBF58476D1CE4E5B9);
+    h ^= h >> 32;
+    (h as f64 / u64::MAX as f64) < p
+}
+
+/// Greedy influence maximization. `a` is the (boolean) adjacency in the
+/// multiply orientation (`a[r][c]` set means the cascade can move from `c`
+/// to `r`). Returns the selected seeds and the Monte-Carlo estimate of
+/// their spread (expected activated vertices, including the seeds).
+pub fn influence_maximization(
+    comm: &mut Comm,
+    a: &DistCsr<bool>,
+    cfg: &InfluenceConfig,
+) -> (Vec<Idx>, f64) {
+    let dist = a.dist;
+    let n = dist.n();
+    assert!(cfg.k <= cfg.candidates, "cannot pick more seeds than candidates");
+
+    // Candidate pool: distinct pseudo-random vertices, identical on every
+    // rank (same seed, no rank-dependent state).
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut candidates: Vec<Idx> = Vec::with_capacity(cfg.candidates);
+    while candidates.len() < cfg.candidates.min(n) {
+        let v = rng.random_range(0..n) as Idx;
+        if !candidates.contains(&v) {
+            candidates.push(v);
+        }
+    }
+
+    // Per sample: subsample the live edges, rebuild A^c for the sampled
+    // graph, run one multi-source BFS from all candidates, and keep the
+    // reach sets transposed (candidate -> local vertices) for fast greedy
+    // marginal counting.
+    let mut reach_t: Vec<Csr<bool>> = Vec::with_capacity(cfg.samples);
+    for sample in 0..cfg.samples {
+        let (lo, _) = a.row_range();
+        let live = a.local.filter(|r, c, _| {
+            edge_alive(cfg.seed, sample as u64, c, lo + r as Idx, cfg.edge_prob)
+        });
+        let live_dist = DistCsr {
+            dist,
+            rank: comm.rank(),
+            local: live,
+        };
+        let ac = ColBlocks::build::<BoolAndOr>(comm, &live_dist);
+        let bcfg = BfsConfig {
+            ts: TsConfig {
+                tag: format!("{}:s{sample}", cfg.tag),
+                ..TsConfig::default()
+            },
+            ..BfsConfig::default()
+        };
+        let (reach, _) = msbfs_ts(comm, &live_dist, &ac, &candidates, &bcfg);
+        reach_t.push(reach.transpose()); // candidates × local vertices
+    }
+
+    // Greedy selection with lazy-free exact marginal gains.
+    let mut covered: Vec<Vec<bool>> = (0..cfg.samples)
+        .map(|_| vec![false; a.local_rows()])
+        .collect();
+    let mut picked = vec![false; candidates.len()];
+    let mut seeds = Vec::with_capacity(cfg.k);
+    let mut total_covered = 0u64;
+
+    for _round in 0..cfg.k.min(candidates.len()) {
+        let mut gains = vec![0u64; candidates.len()];
+        for (s, rt) in reach_t.iter().enumerate() {
+            for (j, gain) in gains.iter_mut().enumerate() {
+                if picked[j] {
+                    continue;
+                }
+                let (rows, _) = rt.row(j);
+                *gain += rows
+                    .iter()
+                    .filter(|&&v| !covered[s][v as usize])
+                    .count() as u64;
+            }
+        }
+        let global_gains = comm.allreduce(
+            gains,
+            |mut x, y| {
+                for (a, b) in x.iter_mut().zip(y) {
+                    *a += b;
+                }
+                x
+            },
+            format!("{}:greedy", cfg.tag),
+        );
+        // Deterministic argmax (ties -> lowest candidate index) so every
+        // rank picks the same seed without further communication.
+        let (best, &best_gain) = global_gains
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| !picked[j])
+            .max_by_key(|&(j, &g)| (g, std::cmp::Reverse(j)))
+            .expect("candidate pool exhausted");
+        if best_gain == 0 {
+            break;
+        }
+        picked[best] = true;
+        seeds.push(candidates[best]);
+        total_covered += best_gain;
+        for (s, rt) in reach_t.iter().enumerate() {
+            let (rows, _) = rt.row(best);
+            for &v in rows {
+                covered[s][v as usize] = true;
+            }
+        }
+    }
+
+    (seeds, total_covered as f64 / cfg.samples as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsgemm_core::part::BlockDist;
+    use tsgemm_net::World;
+    use tsgemm_sparse::gen::{erdos_renyi, symmetrize};
+    use tsgemm_sparse::Coo;
+
+    fn run(
+        coo: &Coo<bool>,
+        p: usize,
+        cfg: InfluenceConfig,
+    ) -> Vec<(Vec<Idx>, f64)> {
+        let n = coo.nrows();
+        World::run(p, |comm| {
+            let dist = BlockDist::new(n, p);
+            let a = DistCsr::from_global_coo::<BoolAndOr>(coo, dist, comm.rank(), n);
+            influence_maximization(comm, &a, &cfg)
+        })
+        .results
+    }
+
+    #[test]
+    fn all_ranks_agree_on_seeds() {
+        let n = 80;
+        let coo = symmetrize(&erdos_renyi(n, 4.0, 401)).map_values(|_| true);
+        let results = run(&coo, 4, InfluenceConfig::default());
+        for r in &results[1..] {
+            assert_eq!(r.0, results[0].0, "seed choice must be deterministic");
+            assert_eq!(r.1, results[0].1);
+        }
+        assert_eq!(results[0].0.len(), 4);
+        assert!(results[0].1 >= 4.0, "seeds activate at least themselves");
+    }
+
+    #[test]
+    fn hub_dominates_a_star() {
+        // Deterministic cascade (p=1) on a star: if the hub is a candidate
+        // it must be the first seed.
+        let n = 40;
+        let mut coo = Coo::new(n, n);
+        for v in 1..n as Idx {
+            coo.push(v, 0, true); // cascade can move 0 -> v
+        }
+        let cfg = InfluenceConfig {
+            k: 1,
+            candidates: n, // everyone is a candidate, including the hub
+            samples: 2,
+            edge_prob: 1.0,
+            ..InfluenceConfig::default()
+        };
+        let results = run(&coo, 4, cfg);
+        assert_eq!(results[0].0, vec![0], "the hub must be selected first");
+        assert_eq!(results[0].1, n as f64, "hub reaches the whole star");
+    }
+
+    #[test]
+    fn two_components_get_one_seed_each() {
+        // Two disjoint 10-cliques, deterministic cascade, k=2: greedy must
+        // place one seed in each component.
+        let n = 20;
+        let mut coo = Coo::new(n, n);
+        for a in 0..10u32 {
+            for b in 0..10u32 {
+                if a != b {
+                    coo.push(a, b, true);
+                    coo.push(a + 10, b + 10, true);
+                }
+            }
+        }
+        let cfg = InfluenceConfig {
+            k: 2,
+            candidates: n,
+            samples: 1,
+            edge_prob: 1.0,
+            ..InfluenceConfig::default()
+        };
+        let results = run(&coo, 2, cfg);
+        let seeds = &results[0].0;
+        assert_eq!(seeds.len(), 2);
+        let comp: Vec<usize> = seeds.iter().map(|&s| (s / 10) as usize).collect();
+        assert_ne!(comp[0], comp[1], "seeds must cover both components: {seeds:?}");
+        assert_eq!(results[0].1, 20.0);
+    }
+
+    #[test]
+    fn lower_edge_probability_spreads_less() {
+        let n = 100;
+        let coo = symmetrize(&erdos_renyi(n, 5.0, 402)).map_values(|_| true);
+        let spread = |p_edge: f64| {
+            let cfg = InfluenceConfig {
+                k: 2,
+                candidates: 16,
+                samples: 6,
+                edge_prob: p_edge,
+                ..InfluenceConfig::default()
+            };
+            run(&coo, 4, cfg)[0].1
+        };
+        assert!(spread(0.05) < spread(0.9));
+    }
+}

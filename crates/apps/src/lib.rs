@@ -1,0 +1,34 @@
+//! Applications built on TS-SpGEMM (§IV of the paper):
+//!
+//! * [`msbfs`] — multi-source breadth-first search (Alg. 3): `d` concurrent
+//!   BFS traversals as repeated `(∧,∨)`-semiring TS-SpGEMMs with frontier
+//!   and visited-set bookkeeping, plus a 2-D SUMMA variant for the Fig. 12
+//!   speedup comparison and a classic sequential reference for testing;
+//! * [`embed`] — sparse force-directed node embedding (sparse Force2Vec):
+//!   minibatch SGD where every batch's attractive + repulsive forces are one
+//!   TS-SpGEMM with tile height = batch size, followed by top-k
+//!   re-sparsification of the embedding matrix;
+//! * [`linkpred`] — link-prediction evaluation (Fig. 13a's accuracy metric);
+//! * [`centrality`] — BFS level tracking and closeness centrality (the
+//!   paper's motivating citation \[11\]);
+//! * [`influence`] — independent-cascade influence maximization via sampled
+//!   multi-source reachability (the paper's motivating citation \[12\]);
+//! * [`mod@mcl`] — distributed Markov clustering (HipMCL-style, citation \[4\]):
+//!   the `AA` expansion runs through the same TS-SpGEMM schedule, exercising
+//!   the "covers broader SpGEMM scenarios" claim (§II-A).
+
+pub mod centrality;
+pub mod embed;
+pub mod influence;
+pub mod linkpred;
+pub mod mcl;
+pub mod motifs;
+pub mod msbfs;
+
+pub use centrality::{closeness, msbfs_levels};
+pub use embed::{sparse_embed, EmbedConfig, EmbedEpochStats, ForceModel};
+pub use influence::{influence_maximization, InfluenceConfig};
+pub use linkpred::{link_prediction_auc, split_edges};
+pub use mcl::{mcl, MclConfig};
+pub use motifs::{jaccard, triangle_count};
+pub use msbfs::{msbfs_parents, msbfs_summa2d, msbfs_ts, BfsConfig, BfsIterStats};

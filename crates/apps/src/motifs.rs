@@ -1,0 +1,221 @@
+//! Triangle counting and Jaccard similarity — the paper's `AA` and `AAᵀ`
+//! motivating applications (§I, refs \[7\], \[8\], \[9\]).
+//!
+//! Both reduce to counting common neighbours per edge: for a symmetric
+//! adjacency `A` (no self-loops), `(A·A) ∘ A` holds `|N(u) ∩ N(v)|` at every
+//! edge `(u,v)`. Triangles are that sum divided by 6 (each triangle appears
+//! twice per each of its three edges); Jaccard weights divide by the
+//! neighbourhood union. The square×square product runs through the same
+//! TS-SpGEMM schedule — `B` is simply as wide as `A`.
+
+use tsgemm_core::colpart::ColBlocks;
+use tsgemm_core::dist::DistCsr;
+use tsgemm_core::exec::{ts_spgemm, TsConfig};
+use tsgemm_net::Comm;
+use tsgemm_sparse::ewise::intersect;
+use tsgemm_sparse::{Csr, PlusTimesF64};
+
+/// Common-neighbour counts per stored edge: `(A·A) ∘ A` restricted to this
+/// rank's rows. `a` must be symmetric with unit values and no self-loops.
+pub fn common_neighbors(
+    comm: &mut Comm,
+    a: &DistCsr<f64>,
+    ac: &ColBlocks<f64>,
+    tag: &str,
+) -> Csr<f64> {
+    let cfg = TsConfig {
+        tag: tag.to_string(),
+        ..TsConfig::default()
+    };
+    let (paths2, _) = ts_spgemm::<PlusTimesF64>(comm, a, ac, a, &cfg);
+    // Mask to the edge pattern; the mask multiplies by A's (unit) values.
+    intersect::<PlusTimesF64>(&paths2, &a.local)
+}
+
+/// Exact global triangle count of a symmetric unit-valued graph.
+pub fn triangle_count(comm: &mut Comm, a: &DistCsr<f64>, ac: &ColBlocks<f64>, tag: &str) -> u64 {
+    let wedges = common_neighbors(comm, a, ac, tag);
+    let local: f64 = wedges.values().iter().sum();
+    let total = comm.allreduce(local, |x, y| x + y, format!("{tag}:sum"));
+    (total / 6.0).round() as u64
+}
+
+/// Jaccard edge similarity: for every stored edge `(u,v)`,
+/// `|N(u) ∩ N(v)| / |N(u) ∪ N(v)|`. Returns this rank's rows (same pattern
+/// as the local adjacency). Needs the global degree vector — one AllReduce.
+pub fn jaccard(comm: &mut Comm, a: &DistCsr<f64>, ac: &ColBlocks<f64>, tag: &str) -> Csr<f64> {
+    let n = a.dist.n();
+    let (lo, _) = a.row_range();
+    let mut deg = vec![0.0f64; n];
+    for r in 0..a.local_rows() {
+        deg[lo as usize + r] = a.local.row_nnz(r) as f64;
+    }
+    let deg = comm.allreduce(
+        deg,
+        |mut x, y| {
+            for (d, e) in x.iter_mut().zip(y) {
+                *d += e;
+            }
+            x
+        },
+        format!("{tag}:deg"),
+    );
+
+    let common = common_neighbors(comm, a, ac, tag);
+    // J(u,v) = c / (deg(u) + deg(v) - c); edges with no common neighbours
+    // are absent from `common` but present in A with J = 0 — keep the edge
+    // pattern complete by walking A's rows.
+    let mut indptr = Vec::with_capacity(a.local_rows() + 1);
+    indptr.push(0);
+    let mut indices = Vec::new();
+    let mut values = Vec::new();
+    for r in 0..a.local_rows() {
+        let (acols, _) = a.local.row(r);
+        let (ccols, cvals) = common.row(r);
+        let du = deg[lo as usize + r];
+        let mut j = 0usize;
+        for &c in acols {
+            let mut com = 0.0;
+            while j < ccols.len() && ccols[j] < c {
+                j += 1;
+            }
+            if j < ccols.len() && ccols[j] == c {
+                com = cvals[j];
+            }
+            let dv = deg[c as usize];
+            let union = du + dv - com;
+            indices.push(c);
+            values.push(if union > 0.0 { com / union } else { 0.0 });
+        }
+        indptr.push(indices.len());
+    }
+    Csr::from_parts(a.local_rows(), n, indptr, indices, values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsgemm_core::part::BlockDist;
+    use tsgemm_net::World;
+    use tsgemm_sparse::gen::{erdos_renyi, symmetrize};
+    use tsgemm_sparse::{Coo, Idx};
+
+    fn unit_graph(coo: &Coo<f64>) -> Coo<f64> {
+        // Strip self-loops, force unit values.
+        Coo::from_entries(
+            coo.nrows(),
+            coo.ncols(),
+            coo.entries()
+                .iter()
+                .filter(|&&(r, c, _)| r != c)
+                .map(|&(r, c, _)| (r, c, 1.0))
+                .collect(),
+        )
+    }
+
+    fn brute_force_triangles(g: &Csr<f64>) -> u64 {
+        let n = g.nrows();
+        let mut count = 0u64;
+        for u in 0..n {
+            let (nu, _) = g.row(u);
+            for &v in nu {
+                if (v as usize) <= u {
+                    continue;
+                }
+                let (nv, _) = g.row(v as usize);
+                for &w in nv {
+                    if (w as usize) <= v as usize {
+                        continue;
+                    }
+                    if g.get(u, w).is_some() {
+                        count += 1;
+                    }
+                }
+            }
+        }
+        count
+    }
+
+    fn run_triangles(g: &Coo<f64>, p: usize) -> u64 {
+        let n = g.nrows();
+        let out = World::run(p, |comm| {
+            let dist = BlockDist::new(n, p);
+            let a = DistCsr::from_global_coo::<PlusTimesF64>(g, dist, comm.rank(), n);
+            let ac = ColBlocks::build::<PlusTimesF64>(comm, &a);
+            triangle_count(comm, &a, &ac, "tri")
+        });
+        assert!(out.results.windows(2).all(|w| w[0] == w[1]));
+        out.results[0]
+    }
+
+    #[test]
+    fn complete_graph_k5_has_ten_triangles() {
+        let mut coo = Coo::new(5, 5);
+        for u in 0..5u32 {
+            for v in 0..5u32 {
+                if u != v {
+                    coo.push(u, v, 1.0);
+                }
+            }
+        }
+        assert_eq!(run_triangles(&coo, 2), 10); // C(5,3)
+    }
+
+    #[test]
+    fn triangle_free_graph_counts_zero() {
+        // A 6-cycle has no triangles.
+        let mut coo = Coo::new(6, 6);
+        for v in 0..6u32 {
+            let u = (v + 1) % 6;
+            coo.push(v, u, 1.0);
+            coo.push(u, v, 1.0);
+        }
+        assert_eq!(run_triangles(&coo, 3), 0);
+    }
+
+    #[test]
+    fn random_graph_matches_brute_force() {
+        let g = unit_graph(&symmetrize(&erdos_renyi(60, 5.0, 701)));
+        let expected = brute_force_triangles(&g.to_csr::<PlusTimesF64>());
+        assert!(expected > 0, "test graph should contain triangles");
+        assert_eq!(run_triangles(&g, 4), expected);
+    }
+
+    #[test]
+    fn jaccard_of_a_triangle_with_tail() {
+        // Triangle 0-1-2 plus pendant 3 attached to 2.
+        let mut coo = Coo::new(4, 4);
+        for &(a, b) in &[(0u32, 1u32), (1, 2), (0, 2), (2, 3)] {
+            coo.push(a, b, 1.0);
+            coo.push(b, a, 1.0);
+        }
+        let n = 4;
+        let out = World::run(2, |comm| {
+            let dist = BlockDist::new(n, 2);
+            let a = DistCsr::from_global_coo::<PlusTimesF64>(&coo, dist, comm.rank(), n);
+            let ac = ColBlocks::build::<PlusTimesF64>(comm, &a);
+            let j = jaccard(comm, &a, &ac, "jac");
+            let (lo, _) = dist.range(comm.rank());
+            let mut trips = Vec::new();
+            for (r, cols, vals) in j.iter_rows() {
+                for (&c, &v) in cols.iter().zip(vals) {
+                    trips.push((lo + r as Idx, c, v));
+                }
+            }
+            let all = comm.allgatherv(trips, "gather:verify");
+            all.into_iter().flatten().collect::<Vec<_>>()
+        });
+        let mut jm = std::collections::HashMap::new();
+        for (r, c, v) in &out.results[0] {
+            jm.insert((*r, *c), *v);
+        }
+        // Edge (0,1): N(0)={1,2}, N(1)={0,2}; common {2}=1, union 3 -> 1/3.
+        assert!((jm[&(0, 1)] - 1.0 / 3.0).abs() < 1e-12);
+        // Edge (2,3): N(2)={0,1,3}, N(3)={2}; common 0, union 4 -> 0.
+        assert_eq!(jm[&(2, 3)], 0.0);
+        // Symmetry.
+        assert_eq!(jm[&(0, 1)], jm[&(1, 0)]);
+        // Pattern preserved: every edge has a Jaccard value.
+        assert_eq!(out.results[0].len(), 8);
+    }
+}

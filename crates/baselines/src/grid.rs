@@ -1,0 +1,108 @@
+//! 2-D process grids over communicator splits.
+
+use tsgemm_net::Comm;
+
+/// A `pr × pc` process grid with row and column sub-communicators.
+///
+/// Rank `r` sits at `(row, col) = (r / pc, r % pc)`. `row_comm` connects the
+/// ranks of one grid row (its internal rank equals the grid column), and
+/// `col_comm` the ranks of one grid column (internal rank = grid row) — the
+/// two broadcast domains of SUMMA.
+pub struct Grid2d {
+    pub pr: usize,
+    pub pc: usize,
+    pub row: usize,
+    pub col: usize,
+    pub row_comm: Comm,
+    pub col_comm: Comm,
+}
+
+impl Grid2d {
+    /// Builds a square `√p × √p` grid over `comm`.
+    ///
+    /// # Panics
+    /// Panics if `comm.size()` is not a perfect square.
+    pub fn square(comm: &mut Comm) -> Self {
+        let p = comm.size();
+        let g = (p as f64).sqrt().round() as usize;
+        assert_eq!(g * g, p, "2-D SUMMA needs a perfect-square rank count, got {p}");
+        Self::new(comm, g, g)
+    }
+
+    /// Builds a `pr × pc` grid over `comm`.
+    ///
+    /// # Panics
+    /// Panics if `pr * pc != comm.size()`.
+    pub fn new(comm: &mut Comm, pr: usize, pc: usize) -> Self {
+        assert_eq!(pr * pc, comm.size(), "grid must cover the communicator");
+        let row = comm.rank() / pc;
+        let col = comm.rank() % pc;
+        let row_comm = comm.split(row, col);
+        let col_comm = comm.split(pr + col, row); // distinct colors from rows
+        Self {
+            pr,
+            pc,
+            row,
+            col,
+            row_comm,
+            col_comm,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsgemm_net::World;
+
+    #[test]
+    fn square_grid_coordinates() {
+        let out = World::run(9, |comm| {
+            let g = Grid2d::square(comm);
+            (
+                g.row,
+                g.col,
+                g.row_comm.rank(),
+                g.row_comm.size(),
+                g.col_comm.rank(),
+                g.col_comm.size(),
+            )
+        });
+        for (rank, &(row, col, rr, rs, cr, cs)) in out.results.iter().enumerate() {
+            assert_eq!(row, rank / 3);
+            assert_eq!(col, rank % 3);
+            assert_eq!(rr, col, "row_comm rank is the grid column");
+            assert_eq!(cr, row, "col_comm rank is the grid row");
+            assert_eq!(rs, 3);
+            assert_eq!(cs, 3);
+        }
+    }
+
+    #[test]
+    fn rectangular_grid() {
+        let out = World::run(6, |comm| {
+            let g = Grid2d::new(comm, 2, 3);
+            (g.row, g.col, g.row_comm.size(), g.col_comm.size())
+        });
+        assert_eq!(out.results[5], (1, 2, 3, 2));
+    }
+
+    #[test]
+    fn row_comm_connects_one_row() {
+        let out = World::run(4, |comm| {
+            let mut g = Grid2d::new(comm, 2, 2);
+            let ids = g.row_comm.allgatherv(vec![comm.rank()], "ids");
+            ids.into_iter().flatten().collect::<Vec<_>>()
+        });
+        assert_eq!(out.results[0], vec![0, 1]);
+        assert_eq!(out.results[3], vec![2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "perfect-square")]
+    fn square_rejects_non_square() {
+        let _ = World::run(6, |comm| {
+            let _ = Grid2d::square(comm);
+        });
+    }
+}

@@ -1,0 +1,25 @@
+//! Distributed SpGEMM baselines the paper compares against (§V-A):
+//!
+//! * [`mod@summa2d`] — 2-D Sparse SUMMA (CombBLAS's algorithm, Buluç & Gilbert);
+//! * [`mod@summa3d`] — 3-D/2.5-D Sparse SUMMA (Azad et al.): layers split the
+//!   inner dimension, partial `C`s are reduced across layers;
+//! * [`petsc1d`] — PETSc/Trilinos-style 1-D distributed Gustavson
+//!   (request + fetch, no tiling — Alg. 1 of the paper);
+//! * [`shift`] — 1.5-D dense-shifting SpMM (Selvitopi et al.), the sanity
+//!   baseline for the paper's own SpMM implementation.
+//!
+//! All baselines are implemented from their published algorithm descriptions
+//! on the same simulated runtime and cost model as TS-SpGEMM, so every
+//! comparison isolates the algorithm rather than the software stack.
+
+pub mod grid;
+pub mod petsc1d;
+pub mod shift;
+pub mod summa2d;
+pub mod summa3d;
+
+pub use grid::Grid2d;
+pub use petsc1d::petsc_spgemm;
+pub use shift::shift_spmm;
+pub use summa2d::{summa2d, Summa2dOut, SummaStats};
+pub use summa3d::{summa3d, Summa3dOut};

@@ -1,0 +1,230 @@
+//! 3-D (2.5-D) Sparse SUMMA (Azad et al., SIAM SISC 2016).
+//!
+//! Ranks form a `g × g × l` grid. The inner dimension is split over the `l`
+//! layers: layer `m` owns columns `A[:, range_m]` and rows `B[range_m, :]`
+//! and multiplies them with an in-layer 2-D SUMMA on its `g × g` grid; the
+//! layer-partial `C`s are then summed across layers along the "fiber"
+//! communicators. Splitting the stage loop over layers is what makes the
+//! algorithm communication-avoiding at scale — the property that lets it
+//! beat TS-SpGEMM's communication at 512 nodes in Fig. 11.
+
+use std::ops::Range;
+use tsgemm_core::part::BlockDist;
+use tsgemm_net::Comm;
+use tsgemm_sparse::semiring::Semiring;
+use tsgemm_sparse::spgemm::AccumChoice;
+use tsgemm_sparse::{Coo, Csr, Idx};
+
+use crate::grid::Grid2d;
+use crate::summa2d::{extract_block, summa_stages, SummaStats};
+
+/// One rank's layer-reduced result block.
+pub struct Summa3dOut<T> {
+    /// Reduced rows of `C_{i,j}` owned by this rank's layer (block-local
+    /// indices; the fiber members hold disjoint row chunks of the block).
+    pub c_block: Csr<T>,
+    /// Global row range of the block.
+    pub rows: Range<Idx>,
+    /// Global column range of the block (within `0..d`).
+    pub cols: Range<Idx>,
+    /// This rank's layer.
+    pub layer: usize,
+    pub stats: SummaStats,
+}
+
+/// Runs 3-D Sparse SUMMA with `layers` layers on a replicated global input.
+///
+/// # Panics
+/// Panics unless `comm.size() / layers` is a perfect square and divisible.
+pub fn summa3d<S: Semiring>(
+    comm: &mut Comm,
+    acoo: &Coo<S::T>,
+    bcoo: &Coo<S::T>,
+    layers: usize,
+    accum: AccumChoice,
+    tag: &str,
+) -> Summa3dOut<S::T> {
+    let p = comm.size();
+    assert!(layers >= 1 && p.is_multiple_of(layers), "layers must divide p");
+    let per_layer = p / layers;
+    let g = (per_layer as f64).sqrt().round() as usize;
+    assert_eq!(
+        g * g,
+        per_layer,
+        "3-D SUMMA needs p/layers to be a perfect square (got {per_layer})"
+    );
+    let n = acoo.nrows();
+    assert_eq!(acoo.ncols(), n, "A must be square");
+    assert_eq!(bcoo.nrows(), n, "inner dimensions must agree");
+    let d = bcoo.ncols();
+
+    let layer = comm.rank() / per_layer;
+    let r2 = comm.rank() % per_layer;
+
+    // Layer communicator, then the in-layer 2-D grid, then the cross-layer
+    // fiber connecting the ranks with the same (i, j).
+    let mut layer_comm = comm.split(layer, r2);
+    let mut grid = Grid2d::new(&mut layer_comm, g, g);
+    let mut fiber_comm = comm.split(layers + r2, layer);
+
+    // This layer's slice of the inner dimension.
+    let ldist = BlockDist::new(n, layers);
+    let (llo, lhi) = ldist.range(layer);
+    let width = (lhi - llo) as usize;
+
+    let ndist = BlockDist::new(n, g);
+    let ddist = BlockDist::new(d, g);
+    let kdist = BlockDist::new(width, g);
+
+    let (rlo, rhi) = ndist.range(grid.row);
+    let (dlo, dhi) = ddist.range(grid.col);
+    let (klo_j, khi_j) = kdist.range(grid.col);
+    let (klo_i, khi_i) = kdist.range(grid.row);
+
+    // A block: my rows × my share of the layer's columns.
+    let a_block = extract_block::<S>(acoo, rlo..rhi, (llo + klo_j)..(llo + khi_j));
+    // B block: my share of the layer's rows × my d-columns.
+    let b_block = extract_block::<S>(bcoo, (llo + klo_i)..(llo + khi_i), dlo..dhi);
+
+    let (c_trips, flops) = summa_stages::<S>(
+        &mut grid,
+        &a_block,
+        &b_block,
+        kdist,
+        (rhi - rlo) as usize,
+        (dhi - dlo) as usize,
+        accum,
+        tag,
+    );
+    comm.add_flops(flops);
+
+    // Reduce layer partials across the fiber with a reduce-scatter: the
+    // block's rows are split over the `l` fiber members, each layer sums
+    // the partials for its chunk, and — as in Azad et al. — `C` stays
+    // layer-split (no allgather back). Each partial entry crosses the
+    // fiber at most once.
+    let my_rows = (rhi - rlo) as usize;
+    let chunk_dist = BlockDist::new(my_rows, layers);
+    let mut fiber_sends: Vec<Vec<(Idx, Idx, S::T)>> = (0..layers).map(|_| Vec::new()).collect();
+    for t in c_trips {
+        fiber_sends[chunk_dist.owner(t.0)].push(t);
+    }
+    let reduced = fiber_comm.alltoallv(fiber_sends, format!("{tag}:reduce"));
+    // The merged block keeps full block-local row coordinates; only this
+    // layer's row chunk is populated.
+    let c_block = Coo::from_entries(
+        my_rows,
+        (dhi - dlo) as usize,
+        reduced.into_iter().flatten().collect(),
+    )
+    .to_csr::<S>();
+
+    Summa3dOut {
+        c_block,
+        rows: rlo..rhi,
+        cols: dlo..dhi,
+        layer,
+        stats: SummaStats {
+            flops,
+            stages: g as u64,
+        },
+    }
+}
+
+/// Gathers the reduced result to a full matrix on every rank (verification
+/// plumbing). Fiber members hold disjoint row chunks, so everyone
+/// contributes and nothing is double-counted.
+pub fn gather_blocks_3d<S: Semiring>(
+    comm: &mut Comm,
+    out: &Summa3dOut<S::T>,
+    n: usize,
+    d: usize,
+) -> Csr<S::T> {
+    let mut trips: Vec<(Idx, Idx, S::T)> = Vec::new();
+    for (r, cols, vals) in out.c_block.iter_rows() {
+        for (&c, &v) in cols.iter().zip(vals) {
+            trips.push((out.rows.start + r as Idx, out.cols.start + c, v));
+        }
+    }
+    let all = comm.allgatherv(trips, "gather:verify");
+    Coo::from_entries(n, d, all.into_iter().flatten().collect()).to_csr::<S>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsgemm_net::World;
+    use tsgemm_sparse::gen::{erdos_renyi, random_tall};
+    use tsgemm_sparse::spgemm::spgemm;
+    use tsgemm_sparse::PlusTimesF64;
+
+    fn check(n: usize, d: usize, p: usize, layers: usize, acoo: &Coo<f64>, bcoo: &Coo<f64>) {
+        let expected = spgemm::<PlusTimesF64>(
+            &acoo.to_csr::<PlusTimesF64>(),
+            &bcoo.to_csr::<PlusTimesF64>(),
+            AccumChoice::Auto,
+        );
+        let out = World::run(p, |comm| {
+            let res =
+                summa3d::<PlusTimesF64>(comm, acoo, bcoo, layers, AccumChoice::Auto, "s3");
+            gather_blocks_3d::<PlusTimesF64>(comm, &res, n, d)
+        });
+        for c in out.results {
+            assert!(c.approx_eq(&expected, 1e-9), "SUMMA3D != sequential");
+        }
+    }
+
+    #[test]
+    fn matches_sequential_two_layers() {
+        let n = 40;
+        let d = 8;
+        check(n, d, 8, 2, &erdos_renyi(n, 5.0, 43), &random_tall(n, d, 0.5, 44));
+    }
+
+    #[test]
+    fn matches_sequential_four_layers() {
+        let n = 48;
+        let d = 6;
+        check(n, d, 16, 4, &erdos_renyi(n, 4.0, 45), &random_tall(n, d, 0.25, 46));
+    }
+
+    #[test]
+    fn one_layer_degenerates_to_2d() {
+        let n = 36;
+        let d = 4;
+        check(n, d, 4, 1, &erdos_renyi(n, 5.0, 47), &random_tall(n, d, 0.5, 48));
+    }
+
+    #[test]
+    fn layers_cut_per_rank_broadcast_volume() {
+        // More layers => each layer broadcasts narrower blocks; total A
+        // broadcast volume per rank shrinks (the communication-avoiding
+        // property).
+        let n = 64;
+        let d = 8;
+        let acoo = erdos_renyi(n, 8.0, 49);
+        let bcoo = random_tall(n, d, 0.5, 50);
+        let vol = |layers: usize| {
+            let out = World::run(16, |comm| {
+                let _ = summa3d::<PlusTimesF64>(
+                    comm,
+                    &acoo,
+                    &bcoo,
+                    layers,
+                    AccumChoice::Auto,
+                    "s3",
+                );
+            });
+            let abcast: u64 = out
+                .profiles
+                .iter()
+                .map(|p| p.bytes_sent_tagged("s3:abcast"))
+                .sum();
+            abcast
+        };
+        assert!(
+            vol(4) < vol(1),
+            "4 layers must broadcast less A than 1 layer"
+        );
+    }
+}

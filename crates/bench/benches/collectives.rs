@@ -1,0 +1,70 @@
+//! Simulated-runtime collective benchmarks: the wall-clock overhead of the
+//! mailbox-based AllToAllv/AllGatherv/Bcast machinery itself (this is
+//! harness overhead, not modeled network time — it bounds how large a
+//! simulated cluster is practical on one host).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tsgemm_net::World;
+
+fn bench_alltoallv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alltoallv");
+    group.sample_size(10);
+    for p in [4usize, 16] {
+        group.bench_with_input(BenchmarkId::new("1k_per_pair", p), &p, |b, &p| {
+            b.iter(|| {
+                let out = World::run(p, |comm| {
+                    let sends: Vec<Vec<u64>> = (0..p).map(|_| vec![7u64; 128]).collect();
+                    let recv = comm.alltoallv(sends, "bench");
+                    recv.iter().map(|v| v.len()).sum::<usize>()
+                });
+                black_box(out.results)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_world_spawn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("world_spawn");
+    group.sample_size(10);
+    for p in [8usize, 64] {
+        group.bench_with_input(BenchmarkId::new("ranks", p), &p, |b, &p| {
+            b.iter(|| {
+                let out = World::run(p, |comm| comm.rank());
+                black_box(out.results.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_bcast_and_reduce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bcast_allreduce");
+    group.sample_size(10);
+    group.bench_function("bcast_vec_64k_p8", |b| {
+        b.iter(|| {
+            let out = World::run(8, |comm| {
+                let data = if comm.rank() == 0 {
+                    vec![1u64; 8192]
+                } else {
+                    Vec::new()
+                };
+                comm.bcast_vec(0, data, "bench").len()
+            });
+            black_box(out.results)
+        });
+    });
+    group.bench_function("allreduce_p16", |b| {
+        b.iter(|| {
+            let out = World::run(16, |comm| {
+                comm.allreduce(comm.rank() as u64, |x, y| x + y, "bench")
+            });
+            black_box(out.results)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_alltoallv, bench_world_spawn, bench_bcast_and_reduce);
+criterion_main!(benches);

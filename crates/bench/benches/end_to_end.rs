@@ -1,0 +1,74 @@
+//! End-to-end distributed multiplies on a small simulated cluster:
+//! TS-SpGEMM vs the baselines on one workload (wall-clock of the whole
+//! simulation; the modeled-time comparisons live in the fig* binaries).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tsgemm_baselines::summa2d::summa2d;
+use tsgemm_core::colpart::ColBlocks;
+use tsgemm_core::dist::DistCsr;
+use tsgemm_core::exec::{ts_spgemm, TsConfig};
+use tsgemm_core::naive::naive_spgemm;
+use tsgemm_core::part::BlockDist;
+use tsgemm_net::World;
+use tsgemm_sparse::gen::{random_tall, web_like};
+use tsgemm_sparse::spgemm::AccumChoice;
+use tsgemm_sparse::{Coo, PlusTimesF64};
+
+fn workload() -> (Coo<f64>, Coo<f64>, usize, usize) {
+    let n = 1 << 11;
+    let d = 64;
+    (web_like(11, 8.0, 5), random_tall(n, d, 0.8, 6), n, d)
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let (acoo, bcoo, n, d) = workload();
+    let p = 4;
+    let mut group = c.benchmark_group("end_to_end_p4");
+    group.sample_size(10);
+
+    group.bench_function("ts_spgemm", |b| {
+        b.iter(|| {
+            let out = World::run(p, |comm| {
+                let dist = BlockDist::new(n, p);
+                let a = DistCsr::from_global_coo::<PlusTimesF64>(&acoo, dist, comm.rank(), n);
+                let ac = ColBlocks::build::<PlusTimesF64>(comm, &a);
+                let bb = DistCsr::from_global_coo::<PlusTimesF64>(&bcoo, dist, comm.rank(), d);
+                ts_spgemm::<PlusTimesF64>(comm, &a, &ac, &bb, &TsConfig::default())
+                    .0
+                    .nnz()
+            });
+            black_box(out.results)
+        });
+    });
+
+    group.bench_function("petsc_1d", |b| {
+        b.iter(|| {
+            let out = World::run(p, |comm| {
+                let dist = BlockDist::new(n, p);
+                let a = DistCsr::from_global_coo::<PlusTimesF64>(&acoo, dist, comm.rank(), n);
+                let bb = DistCsr::from_global_coo::<PlusTimesF64>(&bcoo, dist, comm.rank(), d);
+                naive_spgemm::<PlusTimesF64>(comm, &a, &bb, AccumChoice::Auto, "b")
+                    .0
+                    .nnz()
+            });
+            black_box(out.results)
+        });
+    });
+
+    group.bench_function("summa_2d", |b| {
+        b.iter(|| {
+            let out = World::run(p, |comm| {
+                summa2d::<PlusTimesF64>(comm, &acoo, &bcoo, AccumChoice::Auto, "b")
+                    .c_block
+                    .nnz()
+            });
+            black_box(out.results)
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Fig. 5 — impact of tile width on memory (a) and runtime (b).
+//!
+//! Sweeps the tile width `w` from `n/p` to `n` (as multiples of `n/p`) on
+//! `p = 64` ranks (the paper's 8 nodes × 8 ranks), reporting the peak
+//! per-rank transient memory for received data and the modeled runtime.
+//! Expected shape: memory grows monotonically with `w`; runtime shrinks as
+//! fewer communication rounds amortise latency, flattening near `w = 16·n/p`
+//! (the Table IV default).
+
+use tsgemm_bench::{dataset, env_usize, fmt_bytes, fmt_secs, run_algo, Algo, Report};
+use tsgemm_core::mode::ModePolicy;
+use tsgemm_net::CostModel;
+use tsgemm_sparse::gen::random_tall;
+
+fn main() {
+    let p = env_usize("TSGEMM_P", 64);
+    let d = env_usize("TSGEMM_D", 128);
+    let sparsity = 0.8;
+    let cm = CostModel::default();
+
+    let mut mem = Report::new(
+        format!("Fig 5a: peak transient memory vs tile width (p={p}, d={d}, 80% sparse B)"),
+        &["w/(n/p)", "peak-bytes", "peak"],
+    );
+    let mut time = Report::new(
+        format!("Fig 5b: modeled runtime vs tile width (p={p}, d={d}, 80% sparse B)"),
+        &["w/(n/p)", "runtime-s", "runtime"],
+    );
+
+    for alias in ["uk", "arabic", "er"] {
+        let ds = dataset(alias);
+        let b = random_tall(ds.n, d, sparsity, 0xF05);
+        let max_factor = (ds.n / (ds.n / p).max(1)).max(1); // w = n  ==  factor p
+        let mut factor = 1usize;
+        while factor <= max_factor {
+            let algo = Algo::Ts {
+                policy: ModePolicy::Hybrid,
+                tile_width_factor: Some(factor),
+                tile_height: None,
+            };
+            let m = run_algo(&algo, p, &ds.graph, &b, &cm);
+            mem.push(
+                format!("{alias} w={factor}x"),
+                vec![
+                    factor.to_string(),
+                    m.peak_transient_bytes.to_string(),
+                    fmt_bytes(m.peak_transient_bytes),
+                ],
+            );
+            time.push(
+                format!("{alias} w={factor}x"),
+                vec![
+                    factor.to_string(),
+                    format!("{:.6}", m.total_secs()),
+                    fmt_secs(m.total_secs()),
+                ],
+            );
+            factor *= 2;
+        }
+    }
+
+    mem.print();
+    time.print();
+    let p1 = mem.write_csv("fig05a_tile_width_memory").unwrap();
+    let p2 = time.write_csv("fig05b_tile_width_runtime").unwrap();
+    println!("wrote {} and {}", p1.display(), p2.display());
+}

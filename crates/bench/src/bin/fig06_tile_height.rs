@@ -1,0 +1,68 @@
+//! Fig. 6 — data transfer of hybrid vs local-only mode across tile heights.
+//!
+//! Fixes `w = 16·n/p` and sweeps the tile height downwards from `n/p`
+//! (GAP-web stand-in, p = 64). The hybrid mode (local + remote tiles) must
+//! transfer no more than the pure local mode, with the gap widening for
+//! short tiles — the minibatch regime where remote tiles pay off (§IV-B).
+
+use tsgemm_bench::{dataset, env_usize, fmt_bytes, run_algo, Algo, Report};
+use tsgemm_core::mode::ModePolicy;
+use tsgemm_net::CostModel;
+use tsgemm_sparse::gen::random_tall;
+
+fn main() {
+    let p = env_usize("TSGEMM_P", 64);
+    let d = env_usize("TSGEMM_D", 128);
+    let cm = CostModel::default();
+    let ds = dataset("gap");
+    let b = random_tall(ds.n, d, 0.8, 0xF06);
+    let block = ds.n.div_ceil(p).max(1);
+
+    let mut rep = Report::new(
+        format!(
+            "Fig 6: data transfer, hybrid vs local mode (gap, p={p}, d={d}, w=16n/p)"
+        ),
+        &["h", "hybrid-bytes", "local-bytes", "hybrid", "local", "saving%"],
+    );
+
+    let mut h = block;
+    while h >= 1 {
+        let run = |policy: ModePolicy| {
+            let algo = Algo::Ts {
+                policy,
+                tile_width_factor: Some(16),
+                tile_height: Some(h),
+            };
+            run_algo(&algo, p, &ds.graph, &b, &cm).comm_bytes
+        };
+        let hybrid = run(ModePolicy::Hybrid);
+        let local = run(ModePolicy::LocalOnly);
+        let saving = if local > 0 {
+            100.0 * (local.saturating_sub(hybrid)) as f64 / local as f64
+        } else {
+            0.0
+        };
+        rep.push(
+            format!("h={h}"),
+            vec![
+                h.to_string(),
+                hybrid.to_string(),
+                local.to_string(),
+                fmt_bytes(hybrid),
+                fmt_bytes(local),
+                format!("{saving:.1}"),
+            ],
+        );
+        if h == 1 {
+            break;
+        }
+        h /= 4;
+        if h == 0 {
+            h = 1;
+        }
+    }
+
+    rep.print();
+    let path = rep.write_csv("fig06_tile_height_transfer").unwrap();
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,76 @@
+//! Fig. 7 — TS-SpGEMM vs SpMM across the sparsity of `B`.
+//!
+//! Sweeps `B`'s sparsity from 0% (fully dense) to 99%, comparing
+//! communication volume (a) and modeled runtime (b) of sparse TS-SpGEMM
+//! against the tiled dense SpMM with the same communication pattern (and
+//! the 1.5-D shifting SpMM as the sanity baseline). Expected crossover: at
+//! ~50% sparsity TS-SpGEMM starts communicating less and running faster —
+//! an index+value sparse entry costs 16 bytes vs 8 bytes per dense value,
+//! so sparse wins once fewer than half the entries are stored (§V-C).
+
+use tsgemm_bench::{dataset, env_usize, fmt_bytes, fmt_secs, run_algo, Algo, Report};
+use tsgemm_net::CostModel;
+use tsgemm_sparse::gen::random_tall;
+
+fn main() {
+    let p = env_usize("TSGEMM_P", 64);
+    let d = env_usize("TSGEMM_D", 128);
+    let cm = CostModel::default();
+    let ds = dataset("uk");
+
+    let mut vol = Report::new(
+        format!("Fig 7a: communication volume vs B sparsity (uk, p={p}, d={d})"),
+        &["sparsity%", "spgemm-bytes", "spmm-bytes", "shift-bytes", "spgemm", "spmm"],
+    );
+    let mut time = Report::new(
+        format!("Fig 7b: modeled runtime vs B sparsity (uk, p={p}, d={d})"),
+        &["sparsity%", "spgemm-s", "spmm-s", "shift-s", "winner"],
+    );
+
+    for s_pct in [0, 10, 25, 40, 50, 60, 75, 90, 99] {
+        let s = s_pct as f64 / 100.0;
+        let b = random_tall(ds.n, d, s, 0xF07);
+        let spgemm = run_algo(&Algo::ts(), p, &ds.graph, &b, &cm);
+        let spmm = run_algo(&Algo::SpmmTiled, p, &ds.graph, &b, &cm);
+        let shift = run_algo(&Algo::Shift, p, &ds.graph, &b, &cm);
+        vol.push(
+            format!("s={s_pct}%"),
+            vec![
+                s_pct.to_string(),
+                spgemm.comm_bytes.to_string(),
+                spmm.comm_bytes.to_string(),
+                shift.comm_bytes.to_string(),
+                fmt_bytes(spgemm.comm_bytes),
+                fmt_bytes(spmm.comm_bytes),
+            ],
+        );
+        let winner = if spgemm.total_secs() < spmm.total_secs() {
+            "SpGEMM"
+        } else {
+            "SpMM"
+        };
+        time.push(
+            format!("s={s_pct}%"),
+            vec![
+                s_pct.to_string(),
+                format!("{:.6}", spgemm.total_secs()),
+                format!("{:.6}", spmm.total_secs()),
+                format!("{:.6}", shift.total_secs()),
+                winner.to_string(),
+            ],
+        );
+        println!(
+            "s={s_pct:>2}%  spgemm {:>10} / {:>9}   spmm {:>10} / {:>9}",
+            fmt_bytes(spgemm.comm_bytes),
+            fmt_secs(spgemm.total_secs()),
+            fmt_bytes(spmm.comm_bytes),
+            fmt_secs(spmm.total_secs()),
+        );
+    }
+
+    vol.print();
+    time.print();
+    let p1 = vol.write_csv("fig07a_sparsity_volume").unwrap();
+    let p2 = time.write_csv("fig07b_sparsity_runtime").unwrap();
+    println!("wrote {} and {}", p1.display(), p2.display());
+}

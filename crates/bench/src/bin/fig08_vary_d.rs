@@ -1,0 +1,63 @@
+//! Fig. 8 — runtime vs the tall matrix's width `d` for all contenders.
+//!
+//! Sweeps `d` from 4 up (paper: 4 … 16,384) at 80% and 99% sparsity,
+//! comparing TS-SpGEMM, 2-D SUMMA, 3-D SUMMA, and PETSc-style 1-D.
+//! Expected shape (uk-2002 stand-in): PETSc matches TS-SpGEMM at tiny `d`
+//! but falls off as the un-tiled fetched slice of B grows; the SUMMAs are
+//! uncompetitive at small `d` (they broadcast A every stage regardless) and
+//! close the gap only at large `d`; TS-SpGEMM leads across the range.
+
+use tsgemm_bench::{dataset, env_usize, fmt_secs, run_algo, Algo, Report};
+use tsgemm_net::CostModel;
+use tsgemm_sparse::gen::random_tall;
+
+fn main() {
+    let p = env_usize("TSGEMM_P", 64);
+    let d_max = env_usize("TSGEMM_DMAX", 4096);
+    let layers = if p >= 16 { 4 } else { 2 };
+    let cm = CostModel::default();
+    let ds = dataset("uk");
+
+    for s_pct in [80, 99] {
+        let s = s_pct as f64 / 100.0;
+        let mut rep = Report::new(
+            format!("Fig 8: modeled runtime vs d (uk, p={p}, {s_pct}% sparse B)"),
+            &["d", "TS-SpGEMM", "SUMMA-2D", "SUMMA-3D", "PETSc-1D"],
+        );
+        let mut d = 4usize;
+        while d <= d_max {
+            let b = random_tall(ds.n, d, s, 0xF08 + d as u64);
+            let ts = run_algo(&Algo::ts(), p, &ds.graph, &b, &cm);
+            let s2 = run_algo(&Algo::Summa2d, p, &ds.graph, &b, &cm);
+            let s3 = run_algo(&Algo::Summa3d { layers }, p, &ds.graph, &b, &cm);
+            let petsc = run_algo(&Algo::Petsc1d, p, &ds.graph, &b, &cm);
+            rep.push(
+                format!("d={d}"),
+                vec![
+                    d.to_string(),
+                    format!("{:.6}", ts.total_secs()),
+                    format!("{:.6}", s2.total_secs()),
+                    format!("{:.6}", s3.total_secs()),
+                    format!("{:.6}", petsc.total_secs()),
+                ],
+            );
+            println!(
+                "s={s_pct}% d={d:>5}: ts {:>9}  summa2d {:>9}  summa3d {:>9}  petsc {:>9}  | vol ts {:.1}M s2 {:.1}M s3 {:.1}M pe {:.1}M | comp ts {:.0}us s2 {:.0}us",
+                fmt_secs(ts.total_secs()),
+                fmt_secs(s2.total_secs()),
+                fmt_secs(s3.total_secs()),
+                fmt_secs(petsc.total_secs()),
+                ts.comm_bytes as f64 / 1e6,
+                s2.comm_bytes as f64 / 1e6,
+                s3.comm_bytes as f64 / 1e6,
+                petsc.comm_bytes as f64 / 1e6,
+                ts.compute_secs * 1e6,
+                s2.compute_secs * 1e6,
+            );
+            d *= 4;
+        }
+        rep.print();
+        let path = rep.write_csv(&format!("fig08_vary_d_s{s_pct}")).unwrap();
+        println!("wrote {}", path.display());
+    }
+}

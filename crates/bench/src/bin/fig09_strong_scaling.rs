@@ -1,0 +1,20 @@
+//! Fig. 9 — strong-scaling modeled runtime at 80% sparse B, d = 128.
+//!
+//! Expected shape: every algorithm's runtime falls with p until the
+//! workload per rank is too small; TS-SpGEMM sits below the SUMMAs and
+//! PETSc-1D across the sweep (the paper reports ~5x on average at d=128).
+//! The communication decomposition of the same runs regenerates Fig. 11
+//! and is written alongside.
+
+use tsgemm_bench::env_usize;
+use tsgemm_bench::scaling::strong_scaling;
+
+fn main() {
+    let d = env_usize("TSGEMM_D", 128);
+    let p_max = env_usize("TSGEMM_PMAX", 256);
+    let (runtime, comm) = strong_scaling(d, 0.8, p_max);
+    runtime.print();
+    let p1 = runtime.write_csv("fig09_strong_scaling_s80").unwrap();
+    let p2 = comm.write_csv("fig11_comm_scaling_s80").unwrap();
+    println!("wrote {} and {}", p1.display(), p2.display());
+}

@@ -1,0 +1,17 @@
+//! Fig. 10 — strong-scaling modeled runtime at 99% sparse B, d = 128.
+//!
+//! Same sweep as Fig. 9 with a very sparse tall operand: the gap between
+//! TS-SpGEMM and the dense-oblivious SUMMAs widens because only stored
+//! entries of B/C move in the 1-D algorithms.
+
+use tsgemm_bench::env_usize;
+use tsgemm_bench::scaling::strong_scaling;
+
+fn main() {
+    let d = env_usize("TSGEMM_D", 128);
+    let p_max = env_usize("TSGEMM_PMAX", 256);
+    let (runtime, _) = strong_scaling(d, 0.99, p_max);
+    runtime.print();
+    let path = runtime.write_csv("fig10_strong_scaling_s99").unwrap();
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,21 @@
+//! Fig. 11 — strong-scaling modeled *communication* time, 80% sparse B.
+//!
+//! Expected shape: TS-SpGEMM's communication scales down with p until
+//! latency starts to dominate; SUMMA-3D (communication-avoiding) has the
+//! flattest curve and closes on TS-SpGEMM at the largest rank counts,
+//! exactly as the paper observes at 512 nodes.
+//!
+//! Runs the same sweep as fig09 (which also writes this CSV); kept as a
+//! standalone binary so the figure can be regenerated in isolation.
+
+use tsgemm_bench::env_usize;
+use tsgemm_bench::scaling::strong_scaling;
+
+fn main() {
+    let d = env_usize("TSGEMM_D", 128);
+    let p_max = env_usize("TSGEMM_PMAX", 256);
+    let (_, comm) = strong_scaling(d, 0.8, p_max);
+    comm.print();
+    let path = comm.write_csv("fig11_comm_scaling_s80").unwrap();
+    println!("wrote {}", path.display());
+}

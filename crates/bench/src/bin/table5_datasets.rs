@@ -1,0 +1,64 @@
+//! Table V — the dataset inventory, as realised by the synthetic stand-ins
+//! at the current `TSGEMM_SCALE`: vertex counts, edge counts and average
+//! degrees, side by side with the paper's originals.
+
+use tsgemm_bench::datasets::{dataset, ml_dataset, scale, ML_ALIASES, WEB_ALIASES};
+use tsgemm_bench::Report;
+use tsgemm_sparse::PlusTimesF64;
+
+fn main() {
+    let mut rep = Report::new(
+        format!("Table V: datasets (stand-ins at scale 2^{})", scale()),
+        &["vertices", "edges", "avg-degree", "paper-vertices", "paper-avg-deg"],
+    );
+    let paper: std::collections::HashMap<&str, (&str, f64)> = [
+        ("uk", ("18,520,486", 16.0)),
+        ("arabic", ("22,744,080", 28.1)),
+        ("it", ("41,291,594", 27.8)),
+        ("gap", ("50,636,151", 38.1)),
+        ("er", ("40,000,000", 8.0)),
+    ]
+    .into_iter()
+    .collect();
+    for alias in WEB_ALIASES.iter().chain(["er"].iter()) {
+        let ds = dataset(alias);
+        let m = ds.graph.to_csr::<PlusTimesF64>();
+        let (pv, pd) = paper[alias];
+        rep.push(
+            ds.stand_in_for,
+            vec![
+                ds.n.to_string(),
+                m.nnz().to_string(),
+                format!("{:.1}", m.nnz() as f64 / ds.n as f64),
+                pv.to_string(),
+                format!("{pd:.1}"),
+            ],
+        );
+    }
+    let paper_ml: std::collections::HashMap<&str, (&str, f64)> = [
+        ("cora", ("2,708", 2.0)),
+        ("citeseer", ("3,312", 1.4)),
+        ("pubmed", ("19,717", 4.5)),
+        ("flicker", ("89,250", 20.2)),
+    ]
+    .into_iter()
+    .collect();
+    for alias in ML_ALIASES {
+        let (ds, _) = ml_dataset(alias);
+        let m = ds.graph.to_csr::<PlusTimesF64>();
+        let (pv, pd) = paper_ml[alias];
+        rep.push(
+            ds.stand_in_for,
+            vec![
+                ds.n.to_string(),
+                m.nnz().to_string(),
+                format!("{:.1}", m.nnz() as f64 / ds.n as f64),
+                pv.to_string(),
+                format!("{pd:.1}"),
+            ],
+        );
+    }
+    rep.print();
+    let path = rep.write_csv("table5_datasets").unwrap();
+    println!("wrote {}", path.display());
+}

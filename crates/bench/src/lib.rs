@@ -1,0 +1,33 @@
+//! Benchmark harnesses regenerating the paper's evaluation (§V).
+//!
+//! One binary per results figure (`fig05` … `fig13`), each printing the
+//! series the paper plots and writing CSV into `results/`. Shared machinery:
+//!
+//! * [`datasets`] — Table V's graphs as deterministic synthetic stand-ins
+//!   (R-MAT for the web crawls, ER for ER, SBM for the ML graphs), scaled by
+//!   the `TSGEMM_SCALE` environment variable;
+//! * [`runners`] — one entry point per contender (TS-SpGEMM, PETSc 1-D,
+//!   SUMMA 2-D/3-D, tiled SpMM, shifting SpMM) returning uniform
+//!   [`runners::RunMetrics`];
+//! * [`report`] — aligned-table printing and CSV output.
+//!
+//! Criterion micro-benchmarks for the local kernels live in `benches/`.
+
+pub mod datasets;
+pub mod report;
+pub mod runners;
+pub mod scaling;
+
+pub use datasets::{dataset, ml_dataset, Dataset};
+pub use report::{fmt_bytes, fmt_secs, Report, Row};
+pub use runners::{run_algo, Algo, RunMetrics};
+
+/// Reads a `usize` parameter from the environment with a default — every
+/// harness accepts `TSGEMM_P` (ranks) and `TSGEMM_SCALE` (graph size) so
+/// users with bigger machines can push closer to the paper's scales.
+pub fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}

@@ -1,0 +1,175 @@
+//! Aligned-table printing and CSV output for the figure harnesses.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// One row of a report: label plus one value per column.
+#[derive(Clone, Debug)]
+pub struct Row {
+    pub label: String,
+    pub values: Vec<String>,
+}
+
+/// A titled table with named columns; prints aligned text and writes CSV.
+pub struct Report {
+    pub title: String,
+    pub columns: Vec<String>,
+    pub rows: Vec<Row>,
+}
+
+impl Report {
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn push(&mut self, label: impl Into<String>, values: Vec<String>) {
+        let label = label.into();
+        assert_eq!(
+            values.len(),
+            self.columns.len(),
+            "row {label} has wrong arity"
+        );
+        self.rows.push(Row { label, values });
+    }
+
+    /// Renders the aligned text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        let mut label_w = 0usize;
+        for row in &self.rows {
+            label_w = label_w.max(row.label.len());
+            for (i, v) in row.values.iter().enumerate() {
+                widths[i] = widths[i].max(v.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let _ = write!(out, "{:label_w$}", "");
+        for (c, w) in self.columns.iter().zip(&widths) {
+            let _ = write!(out, "  {c:>w$}");
+        }
+        let _ = writeln!(out);
+        for row in &self.rows {
+            let _ = write!(out, "{:label_w$}", row.label);
+            for (v, w) in row.values.iter().zip(&widths) {
+                let _ = write!(out, "  {v:>w$}");
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Prints to stdout.
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+
+    /// Writes `results/<name>.csv` relative to the workspace root (or the
+    /// current directory when run elsewhere). Returns the path written.
+    pub fn write_csv(&self, name: &str) -> std::io::Result<PathBuf> {
+        let dir = results_dir();
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{name}.csv"));
+        let mut csv = String::new();
+        let _ = write!(csv, "label");
+        for c in &self.columns {
+            let _ = write!(csv, ",{c}");
+        }
+        let _ = writeln!(csv);
+        for row in &self.rows {
+            let _ = write!(csv, "{}", row.label.replace(',', ";"));
+            for v in &row.values {
+                let _ = write!(csv, ",{}", v.replace(',', ";"));
+            }
+            let _ = writeln!(csv);
+        }
+        std::fs::write(&path, csv)?;
+        Ok(path)
+    }
+}
+
+fn results_dir() -> PathBuf {
+    // Prefer the workspace root (two levels up from the bench crate's
+    // manifest when run via cargo), else ./results.
+    if let Ok(m) = std::env::var("CARGO_MANIFEST_DIR") {
+        let p = Path::new(&m);
+        if let Some(root) = p.ancestors().nth(2) {
+            return root.join("results");
+        }
+    }
+    PathBuf::from("results")
+}
+
+/// Formats seconds human-readably (ms below 1 s).
+pub fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3}s")
+    } else if s >= 1e-3 {
+        format!("{:.2}ms", s * 1e3)
+    } else {
+        format!("{:.1}us", s * 1e6)
+    }
+}
+
+/// Formats a byte count with binary units.
+pub fn fmt_bytes(b: u64) -> String {
+    const KIB: f64 = 1024.0;
+    let b = b as f64;
+    if b >= KIB * KIB * KIB {
+        format!("{:.2}GiB", b / (KIB * KIB * KIB))
+    } else if b >= KIB * KIB {
+        format!("{:.2}MiB", b / (KIB * KIB))
+    } else if b >= KIB {
+        format!("{:.1}KiB", b / KIB)
+    } else {
+        format!("{b}B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut r = Report::new("demo", &["a", "longcol"]);
+        r.push("row1", vec!["1".into(), "2".into()]);
+        r.push("longer-row", vec!["10".into(), "20000".into()]);
+        let text = r.render();
+        assert!(text.contains("== demo =="));
+        assert!(text.contains("longcol"));
+        assert!(text.contains("longer-row"));
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong arity")]
+    fn arity_is_checked() {
+        let mut r = Report::new("demo", &["a", "b"]);
+        r.push("x", vec!["1".into()]);
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let mut r = Report::new("demo", &["v"]);
+        r.push("x,y", vec!["1".into()]);
+        let path = r.write_csv("test_report_demo").unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("label,v"));
+        assert!(text.contains("x;y,1"));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_secs(2.5), "2.500s");
+        assert_eq!(fmt_secs(0.0025), "2.50ms");
+        assert_eq!(fmt_secs(2.5e-5), "25.0us");
+        assert_eq!(fmt_bytes(512), "512B");
+        assert_eq!(fmt_bytes(2048), "2.0KiB");
+        assert_eq!(fmt_bytes(3 * 1024 * 1024), "3.00MiB");
+    }
+}

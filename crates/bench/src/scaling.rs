@@ -1,0 +1,75 @@
+//! Shared strong-scaling sweep used by Figs. 9, 10, and 11.
+
+use crate::datasets::{dataset, WEB_ALIASES};
+use crate::report::Report;
+use crate::runners::{run_algo, Algo};
+use tsgemm_net::CostModel;
+use tsgemm_sparse::gen::random_tall;
+
+/// Runs the strong-scaling sweep: every web dataset × every rank count ×
+/// every contender, at fixed `d` and `sparsity`. Returns two reports over
+/// the same runs: modeled multiply runtime (Figs. 9/10) and modeled
+/// communication time (Fig. 11).
+///
+/// Rank counts are the perfect squares up to `p_max` so 2-D SUMMA can run;
+/// 3-D SUMMA uses 4 layers once `p ≥ 16` (so `p/4` stays square: 16 →
+/// 2×2×4, 64 → 4×4×4, 256 → 8×8×4).
+pub fn strong_scaling(d: usize, sparsity: f64, p_max: usize) -> (Report, Report) {
+    let cm = CostModel::default();
+    let cols = ["p", "TS-SpGEMM", "SUMMA-2D", "SUMMA-3D", "PETSc-1D"];
+    let mut runtime = Report::new(
+        format!(
+            "strong scaling, modeled runtime (d={d}, {:.0}% sparse B)",
+            sparsity * 100.0
+        ),
+        &cols,
+    );
+    let mut comm = Report::new(
+        format!(
+            "strong scaling, modeled communication time (d={d}, {:.0}% sparse B)",
+            sparsity * 100.0
+        ),
+        &cols,
+    );
+
+    let mut ps = Vec::new();
+    let mut g = 2usize;
+    while g * g <= p_max {
+        ps.push(g * g);
+        g *= 2;
+    }
+
+    for alias in WEB_ALIASES {
+        let ds = dataset(alias);
+        let b = random_tall(ds.n, d, sparsity, 0xF09);
+        for &p in &ps {
+            let layers = if p >= 16 { 4 } else { 1 };
+            let ts = run_algo(&Algo::ts(), p, &ds.graph, &b, &cm);
+            let s2 = run_algo(&Algo::Summa2d, p, &ds.graph, &b, &cm);
+            let s3 = run_algo(&Algo::Summa3d { layers }, p, &ds.graph, &b, &cm);
+            let petsc = run_algo(&Algo::Petsc1d, p, &ds.graph, &b, &cm);
+            let all = [&ts, &s2, &s3, &petsc];
+            runtime.push(
+                format!("{alias} p={p}"),
+                std::iter::once(p.to_string())
+                    .chain(all.iter().map(|m| format!("{:.6}", m.total_secs())))
+                    .collect(),
+            );
+            comm.push(
+                format!("{alias} p={p}"),
+                std::iter::once(p.to_string())
+                    .chain(all.iter().map(|m| format!("{:.6}", m.comm_secs)))
+                    .collect(),
+            );
+            eprintln!(
+                "{alias} p={p:>3}: ts {:.2e} ({:.2e} comm)  summa2d {:.2e}  summa3d {:.2e}  petsc {:.2e}",
+                ts.total_secs(),
+                ts.comm_secs,
+                s2.total_secs(),
+                s3.total_secs(),
+                petsc.total_secs()
+            );
+        }
+    }
+    (runtime, comm)
+}

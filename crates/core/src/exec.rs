@@ -1,0 +1,609 @@
+//! The distributed TS-SpGEMM driver (Alg. 2).
+//!
+//! Executes `C = A ⊗ B` with 1-D partitioned `A`, `B`, `C`, the
+//! column-partitioned copy `A^c`, and sparsity-aware tiling. Per tile step
+//! `(row band, column band)` every rank plays two roles:
+//!
+//! * **server** (owner of the `B` rows a sub-tile needs): for local-mode
+//!   sub-tiles it packs the needed `B` rows; for remote-mode sub-tiles it
+//!   multiplies the sub-tile (taken from its `A^c` block, no communication)
+//!   against its local `B` and packs the partial `C` rows;
+//! * **tile owner**: multiplies its own tile columns against local `B`
+//!   (diagonal), received `B` rows (local mode), and merges received partial
+//!   `C` rows (remote mode).
+//!
+//! Communication per step is consolidated into two AllToAllv's — `B` rows
+//! (tag `…:bfetch`, Alg. 2 line 27) and returned partials (tag `…:cret`,
+//! line 17) — matching the paper's "consolidated communication".
+
+use crate::colpart::{ColBlocks, Trip};
+use crate::dist::DistCsr;
+use crate::mode::{decide_modes, ModePolicy, TileMode};
+use crate::part::BlockDist;
+use crate::tiling::{subtile_csr, TileBuckets, Tiling};
+use std::collections::HashMap;
+use tsgemm_net::Comm;
+use tsgemm_sparse::accum::{Accumulator, HashAccum, Spa};
+use tsgemm_sparse::semiring::Semiring;
+use tsgemm_sparse::spgemm::{spgemm, spgemm_flops, AccumChoice};
+use tsgemm_sparse::{Coo, Csr, Idx};
+
+/// Configuration of one TS-SpGEMM invocation.
+#[derive(Clone, Debug)]
+pub struct TsConfig {
+    /// Tile height; `None` = the full row block (`n/p`, Table IV default).
+    pub tile_height: Option<usize>,
+    /// Tile width in global columns; `None` = `16·n/p` (Table IV default).
+    pub tile_width: Option<usize>,
+    /// Local/remote selection policy.
+    pub policy: ModePolicy,
+    /// Accumulator selection for multiplies and merges.
+    pub accum: AccumChoice,
+    /// Tag prefix for communication records (phase attribution).
+    pub tag: String,
+}
+
+impl Default for TsConfig {
+    fn default() -> Self {
+        Self {
+            tile_height: None,
+            tile_width: None,
+            policy: ModePolicy::Hybrid,
+            accum: AccumChoice::Auto,
+            tag: "ts".to_string(),
+        }
+    }
+}
+
+impl TsConfig {
+    /// Tile width as a multiple of the block size (the Fig. 5 sweep axis).
+    pub fn with_width_factor(mut self, factor: usize, dist: BlockDist) -> Self {
+        self.tile_width = Some((factor * dist.block().max(1)).min(dist.n().max(1)).max(1));
+        self
+    }
+
+    fn tiling(&self, dist: BlockDist) -> Tiling {
+        let block = dist.block().max(1);
+        let h = self.tile_height.unwrap_or(block).max(1);
+        let w = self
+            .tile_width
+            .unwrap_or_else(|| (16 * block).min(dist.n().max(1)))
+            .max(1);
+        Tiling::new(dist, h, w)
+    }
+}
+
+/// Per-rank statistics of one invocation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TsLocalStats {
+    /// Multiplications performed by this rank (server + owner roles).
+    pub flops: u64,
+    /// Peak bytes of transient received data (B rows + C partials) held
+    /// simultaneously during any single tile step (the Fig. 5a metric).
+    pub peak_transient_bytes: u64,
+    /// Sub-tiles this rank served in local mode.
+    pub local_subtiles: u64,
+    /// Sub-tiles this rank served in remote mode.
+    pub remote_subtiles: u64,
+    /// Diagonal sub-tiles (no communication).
+    pub diag_subtiles: u64,
+    /// Tile steps executed.
+    pub steps: u64,
+}
+
+impl TsLocalStats {
+    /// Element-wise aggregation across ranks (steps take the max).
+    pub fn merge(mut self, other: &TsLocalStats) -> TsLocalStats {
+        self.flops += other.flops;
+        self.peak_transient_bytes = self.peak_transient_bytes.max(other.peak_transient_bytes);
+        self.local_subtiles += other.local_subtiles;
+        self.remote_subtiles += other.remote_subtiles;
+        self.diag_subtiles += other.diag_subtiles;
+        self.steps = self.steps.max(other.steps);
+        self
+    }
+}
+
+/// Distributed TS-SpGEMM: returns this rank's row block of `C` (local rows,
+/// `d` columns) and its local statistics.
+///
+/// # Panics
+/// Panics if `b`'s row distribution differs from `a`'s, or if the column
+/// block `ac` was built from a different matrix shape.
+pub fn ts_spgemm<S: Semiring>(
+    comm: &mut Comm,
+    a: &DistCsr<S::T>,
+    ac: &ColBlocks<S::T>,
+    b: &DistCsr<S::T>,
+    cfg: &TsConfig,
+) -> (Csr<S::T>, TsLocalStats) {
+    let me = comm.rank();
+    let p = comm.size();
+    let dist = a.dist;
+    assert_eq!(b.dist, dist, "B rows must follow A's distribution");
+    assert_eq!(ac.dist, dist, "A^c columns must follow A's distribution");
+    assert_eq!(a.ncols(), dist.n(), "A must be square over the distribution");
+    let d = b.ncols();
+    let (my_lo, _) = dist.range(me);
+
+    let tiling = cfg.tiling(dist);
+    let buckets = TileBuckets::build(ac, &tiling);
+    let modes = decide_modes::<S>(comm, &tiling, &buckets, b, cfg.policy, &cfg.tag);
+
+    let mut stats = TsLocalStats {
+        local_subtiles: modes.n_local,
+        remote_subtiles: modes.n_remote,
+        diag_subtiles: modes.n_diag,
+        steps: tiling.steps() as u64,
+        ..TsLocalStats::default()
+    };
+
+    // Output accumulated as triplets in local row coordinates; duplicates
+    // (one per contributing tile) are ⊕-merged in the final COO→CSR build,
+    // which is exactly the MERGE of Alg. 2.
+    let mut out_trips: Vec<(Idx, Idx, S::T)> = Vec::new();
+    let use_spa = matches!(cfg.accum.resolve(d), AccumChoice::Spa);
+    let mut spa: Spa<S> = Spa::new(if use_spa { d } else { 1 });
+    let mut hash: HashAccum<S> = HashAccum::with_capacity(64);
+
+    let trip_bytes = std::mem::size_of::<Trip<S::T>>() as u64;
+    let mut flops = 0u64;
+
+    for rb in 0..tiling.n_row_bands {
+        for cb in 0..tiling.n_col_bands {
+            // ---- server role: pack B rows / compute partial C ------------
+            let mut bsend: Vec<Vec<Trip<S::T>>> = (0..p).map(|_| Vec::new()).collect();
+            let mut csend: Vec<Vec<Trip<S::T>>> = (0..p).map(|_| Vec::new()).collect();
+            let (bcol_lo, _) = ac.col_range();
+            for i in 0..p {
+                if i == me {
+                    continue;
+                }
+                let key = (i, rb as u32, cb as u32);
+                let Some(bucket) = buckets.get(&key) else {
+                    continue;
+                };
+                match modes.serve[&key] {
+                    TileMode::Local => {
+                        // Ship each distinct needed B row once (bucket is
+                        // grouped by column, so transitions mark new rows).
+                        let mut last_k: Option<Idx> = None;
+                        for &(_, k, _) in bucket {
+                            if last_k == Some(k) {
+                                continue;
+                            }
+                            last_k = Some(k);
+                            let g_row = bcol_lo + k;
+                            let (cols, vals) = b.local.row(k as usize);
+                            for (&c, &v) in cols.iter().zip(vals) {
+                                bsend[i].push(Trip {
+                                    row: g_row,
+                                    col: c,
+                                    val: v,
+                                });
+                            }
+                        }
+                    }
+                    TileMode::Remote => {
+                        let (band_lo, band_hi) = tiling.band_range(i, rb);
+                        let tile = subtile_csr(
+                            bucket,
+                            band_lo,
+                            (band_hi - band_lo) as usize,
+                            b.local.nrows(),
+                        );
+                        flops += spgemm_flops(&tile, &b.local);
+                        let part = spgemm::<S>(&tile, &b.local, cfg.accum);
+                        for (r, cols, vals) in part.iter_rows() {
+                            let g_row = band_lo + r as Idx;
+                            for (&c, &v) in cols.iter().zip(vals) {
+                                csend[i].push(Trip {
+                                    row: g_row,
+                                    col: c,
+                                    val: v,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+
+            // ---- consolidated communication ------------------------------
+            let brecv = comm.alltoallv(bsend, format!("{}:bfetch", cfg.tag));
+            let crecv = comm.alltoallv(csend, format!("{}:cret", cfg.tag));
+
+            let transient: u64 = brecv
+                .iter()
+                .chain(crecv.iter())
+                .map(|v| v.len() as u64 * trip_bytes)
+                .sum();
+            stats.peak_transient_bytes = stats.peak_transient_bytes.max(transient);
+            // Tiling bounds the multiply's working set to this step's slice.
+            comm.note_working_set(transient);
+
+            // ---- tile-owner role: local multiply -------------------------
+            // Index received B rows: global row id -> slice of entries.
+            let mut brow_entries: Vec<(Idx, S::T)> = Vec::new();
+            let mut brow_index: HashMap<Idx, (u32, u32)> = HashMap::new();
+            for msg in &brecv {
+                let mut run_start = brow_entries.len();
+                let mut run_row: Option<Idx> = None;
+                for t in msg {
+                    if run_row != Some(t.row) {
+                        if let Some(rr) = run_row {
+                            brow_index
+                                .insert(rr, (run_start as u32, brow_entries.len() as u32));
+                        }
+                        run_row = Some(t.row);
+                        run_start = brow_entries.len();
+                    }
+                    brow_entries.push((t.col, t.val));
+                }
+                if let Some(rr) = run_row {
+                    brow_index.insert(rr, (run_start as u32, brow_entries.len() as u32));
+                }
+            }
+
+            let (band_lo, band_hi) = tiling.band_range(me, rb);
+            let (cb_lo, cb_hi) = tiling.col_band_range(cb);
+            for g_row in band_lo..band_hi {
+                let r_local = (g_row - my_lo) as usize;
+                let (cols, vals) = a.local.row(r_local);
+                let start = cols.partition_point(|&c| c < cb_lo);
+                let end = cols.partition_point(|&c| c < cb_hi);
+                let mut touched = false;
+                for idx in start..end {
+                    let c = cols[idx];
+                    let va = vals[idx];
+                    let j = dist.owner(c);
+                    if j == me {
+                        // Diagonal: B row is local.
+                        let (bc, bv) = b.local.row((c - my_lo) as usize);
+                        for (&bcol, &bval) in bc.iter().zip(bv) {
+                            accumulate(use_spa, &mut spa, &mut hash, bcol, S::mul(va, bval));
+                            flops += 1;
+                            touched = true;
+                        }
+                    } else {
+                        match modes.own.get(&(rb as u32, cb as u32, j)) {
+                            Some(TileMode::Local) => {
+                                if let Some(&(lo_e, hi_e)) = brow_index.get(&c) {
+                                    for &(bcol, bval) in
+                                        &brow_entries[lo_e as usize..hi_e as usize]
+                                    {
+                                        accumulate(
+                                            use_spa,
+                                            &mut spa,
+                                            &mut hash,
+                                            bcol,
+                                            S::mul(va, bval),
+                                        );
+                                        flops += 1;
+                                        touched = true;
+                                    }
+                                }
+                            }
+                            Some(TileMode::Remote) => { /* partial arrives below */ }
+                            None => {
+                                // The serving rank saw no entries for this
+                                // sub-tile, yet we hold one: A and A^c have
+                                // diverged, which is a bug.
+                                unreachable!(
+                                    "sub-tile ({rb},{cb}) served by {j} has no mode"
+                                );
+                            }
+                        }
+                    }
+                }
+                if touched {
+                    drain(
+                        use_spa,
+                        &mut spa,
+                        &mut hash,
+                        (g_row - my_lo) as Idx,
+                        &mut out_trips,
+                    );
+                } else {
+                    reset(use_spa, &mut spa, &mut hash);
+                }
+            }
+
+            // ---- fold in remotely computed partials ----------------------
+            for msg in crecv {
+                for t in msg {
+                    out_trips.push((t.row - my_lo, t.col, t.val));
+                }
+            }
+        }
+    }
+
+    comm.add_flops(flops);
+    stats.flops = flops;
+
+    let c = Coo::from_entries(a.local_rows(), d, out_trips).to_csr::<S>();
+    (c, stats)
+}
+
+#[inline]
+fn accumulate<S: Semiring>(
+    use_spa: bool,
+    spa: &mut Spa<S>,
+    hash: &mut HashAccum<S>,
+    col: Idx,
+    val: S::T,
+) {
+    if use_spa {
+        spa.accumulate(col, val);
+    } else {
+        hash.accumulate(col, val);
+    }
+}
+
+fn drain<S: Semiring>(
+    use_spa: bool,
+    spa: &mut Spa<S>,
+    hash: &mut HashAccum<S>,
+    local_row: Idx,
+    out: &mut Vec<(Idx, Idx, S::T)>,
+) {
+    let mut idx = Vec::new();
+    let mut val = Vec::new();
+    if use_spa {
+        spa.drain_sorted(&mut idx, &mut val);
+    } else {
+        hash.drain_sorted(&mut idx, &mut val);
+    }
+    out.extend(idx.into_iter().zip(val).map(|(c, v)| (local_row, c, v)));
+}
+
+fn reset<S: Semiring>(use_spa: bool, spa: &mut Spa<S>, hash: &mut HashAccum<S>) {
+    if use_spa {
+        spa.reset();
+    } else {
+        hash.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsgemm_net::World;
+    use tsgemm_sparse::gen::{erdos_renyi, random_tall, rmat, RMAT_WEB};
+    use tsgemm_sparse::spgemm::spgemm as local_spgemm;
+    use tsgemm_sparse::{BoolAndOr, PlusTimesF64};
+
+    /// Runs distributed TS-SpGEMM and checks the gathered result against a
+    /// sequential multiply of the same operands.
+    fn check(
+        n: usize,
+        d: usize,
+        p: usize,
+        acoo: &Coo<f64>,
+        bcoo: &Coo<f64>,
+        cfg: TsConfig,
+    ) -> Vec<TsLocalStats> {
+        let expected = local_spgemm::<PlusTimesF64>(
+            &acoo.to_csr::<PlusTimesF64>(),
+            &bcoo.to_csr::<PlusTimesF64>(),
+            AccumChoice::Auto,
+        );
+        let out = World::run(p, |comm| {
+            let dist = BlockDist::new(n, p);
+            let a = DistCsr::from_global_coo::<PlusTimesF64>(acoo, dist, comm.rank(), n);
+            let ac = ColBlocks::build::<PlusTimesF64>(comm, &a);
+            let b = DistCsr::from_global_coo::<PlusTimesF64>(bcoo, dist, comm.rank(), d);
+            let (c_local, stats) = ts_spgemm::<PlusTimesF64>(comm, &a, &ac, &b, &cfg);
+            let c = DistCsr {
+                dist,
+                rank: comm.rank(),
+                local: c_local,
+            };
+            (c.gather_global::<PlusTimesF64>(comm), stats)
+        });
+        for (c, _) in &out.results {
+            assert!(
+                c.approx_eq(&expected, 1e-9),
+                "distributed result differs from sequential"
+            );
+        }
+        out.results.into_iter().map(|(_, s)| s).collect()
+    }
+
+    #[test]
+    fn matches_sequential_default_config() {
+        let n = 64;
+        let d = 8;
+        let acoo = erdos_renyi(n, 5.0, 21);
+        let bcoo = random_tall(n, d, 0.5, 22);
+        let stats = check(n, d, 4, &acoo, &bcoo, TsConfig::default());
+        let total: u64 = stats.iter().map(|s| s.flops).sum();
+        assert!(total > 0);
+    }
+
+    #[test]
+    fn matches_sequential_all_policies() {
+        let n = 48;
+        let d = 6;
+        let acoo = erdos_renyi(n, 6.0, 31);
+        let bcoo = random_tall(n, d, 0.7, 32);
+        for policy in [ModePolicy::Hybrid, ModePolicy::LocalOnly, ModePolicy::RemoteOnly] {
+            let cfg = TsConfig {
+                policy,
+                ..TsConfig::default()
+            };
+            check(n, d, 3, &acoo, &bcoo, cfg);
+        }
+    }
+
+    #[test]
+    fn matches_sequential_small_tiles() {
+        let n = 40;
+        let d = 5;
+        let acoo = erdos_renyi(n, 4.0, 41);
+        let bcoo = random_tall(n, d, 0.4, 42);
+        // Narrow tiles (w = n/p) and short tiles (h = 3) exercise multi-step.
+        let cfg = TsConfig {
+            tile_height: Some(3),
+            tile_width: Some(10),
+            ..TsConfig::default()
+        };
+        let stats = check(n, d, 4, &acoo, &bcoo, cfg);
+        assert!(stats[0].steps > 1, "config must produce multiple steps");
+    }
+
+    #[test]
+    fn matches_sequential_wide_tile_single_step() {
+        let n = 30;
+        let d = 4;
+        let acoo = erdos_renyi(n, 5.0, 51);
+        let bcoo = random_tall(n, d, 0.2, 52);
+        let cfg = TsConfig {
+            tile_width: Some(n),
+            ..TsConfig::default()
+        };
+        let stats = check(n, d, 3, &acoo, &bcoo, cfg);
+        assert_eq!(stats[0].steps, 1);
+    }
+
+    #[test]
+    fn matches_sequential_hash_accumulator() {
+        let n = 32;
+        let d = 8;
+        let acoo = erdos_renyi(n, 5.0, 61);
+        let bcoo = random_tall(n, d, 0.5, 62);
+        let cfg = TsConfig {
+            accum: AccumChoice::Hash,
+            ..TsConfig::default()
+        };
+        check(n, d, 4, &acoo, &bcoo, cfg);
+    }
+
+    #[test]
+    fn matches_sequential_scale_free() {
+        let n = 128;
+        let d = 16;
+        let acoo = rmat(7, 8.0, RMAT_WEB, 71);
+        let bcoo = random_tall(n, d, 0.8, 72);
+        let stats = check(n, d, 8, &acoo, &bcoo, TsConfig::default());
+        let remote: u64 = stats.iter().map(|s| s.remote_subtiles).sum();
+        let local: u64 = stats.iter().map(|s| s.local_subtiles).sum();
+        assert!(remote + local > 0);
+    }
+
+    #[test]
+    fn bool_semiring_multi_frontier() {
+        let n = 40;
+        let d = 4;
+        let acoo = erdos_renyi(n, 4.0, 81).map_values(|_| true);
+        let (fcoo, _) = tsgemm_sparse::gen::init_frontier(n, d, 82);
+        let expected = local_spgemm::<BoolAndOr>(
+            &acoo.to_csr::<BoolAndOr>(),
+            &fcoo.to_csr::<BoolAndOr>(),
+            AccumChoice::Auto,
+        );
+        let out = World::run(4, |comm| {
+            let dist = BlockDist::new(n, 4);
+            let a = DistCsr::from_global_coo::<BoolAndOr>(&acoo, dist, comm.rank(), n);
+            let ac = ColBlocks::build::<BoolAndOr>(comm, &a);
+            let b = DistCsr::from_global_coo::<BoolAndOr>(&fcoo, dist, comm.rank(), d);
+            let (c_local, _) =
+                ts_spgemm::<BoolAndOr>(comm, &a, &ac, &b, &TsConfig::default());
+            DistCsr {
+                dist,
+                rank: comm.rank(),
+                local: c_local,
+            }
+            .gather_global::<BoolAndOr>(comm)
+        });
+        for c in out.results {
+            assert_eq!(c, expected);
+        }
+    }
+
+    #[test]
+    fn empty_b_gives_empty_c() {
+        let n = 24;
+        let d = 4;
+        let acoo = erdos_renyi(n, 5.0, 91);
+        let bcoo = Coo::new(n, d);
+        let out = World::run(3, |comm| {
+            let dist = BlockDist::new(n, 3);
+            let a = DistCsr::from_global_coo::<PlusTimesF64>(&acoo, dist, comm.rank(), n);
+            let ac = ColBlocks::build::<PlusTimesF64>(comm, &a);
+            let b = DistCsr::from_global_coo::<PlusTimesF64>(&bcoo, dist, comm.rank(), d);
+            let (c, _) = ts_spgemm::<PlusTimesF64>(comm, &a, &ac, &b, &TsConfig::default());
+            c.nnz()
+        });
+        assert!(out.results.iter().all(|&nnz| nnz == 0));
+    }
+
+    #[test]
+    fn more_ranks_than_rows() {
+        let n = 5;
+        let d = 3;
+        let acoo = erdos_renyi(n, 2.0, 95);
+        let bcoo = random_tall(n, d, 0.0, 96);
+        check(n, d, 8, &acoo, &bcoo, TsConfig::default());
+    }
+
+    #[test]
+    fn hybrid_moves_no_more_than_local_only() {
+        // The mode decision minimises moved nonzeros per sub-tile, so total
+        // multiply-phase traffic under Hybrid must be <= LocalOnly.
+        let n = 128;
+        let d = 8;
+        let acoo = rmat(7, 12.0, RMAT_WEB, 97);
+        let bcoo = random_tall(n, d, 0.3, 98);
+        let volume = |policy: ModePolicy| {
+            let out = World::run(4, |comm| {
+                let dist = BlockDist::new(n, 4);
+                let a =
+                    DistCsr::from_global_coo::<PlusTimesF64>(&acoo, dist, comm.rank(), n);
+                let ac = ColBlocks::build::<PlusTimesF64>(comm, &a);
+                let b =
+                    DistCsr::from_global_coo::<PlusTimesF64>(&bcoo, dist, comm.rank(), d);
+                let cfg = TsConfig {
+                    policy,
+                    ..TsConfig::default()
+                };
+                let _ = ts_spgemm::<PlusTimesF64>(comm, &a, &ac, &b, &cfg);
+            });
+            out.profiles
+                .iter()
+                .map(|p| p.bytes_sent_tagged("ts:bfetch") + p.bytes_sent_tagged("ts:cret"))
+                .sum::<u64>()
+        };
+        let hybrid = volume(ModePolicy::Hybrid);
+        let local = volume(ModePolicy::LocalOnly);
+        assert!(
+            hybrid <= local,
+            "hybrid ({hybrid}) must not exceed local-only ({local})"
+        );
+    }
+
+    #[test]
+    fn peak_transient_memory_grows_with_width() {
+        let n = 256;
+        let d = 16;
+        let acoo = erdos_renyi(n, 8.0, 99);
+        let bcoo = random_tall(n, d, 0.2, 100);
+        let peak = |factor: usize| {
+            let out = World::run(8, |comm| {
+                let dist = BlockDist::new(n, 8);
+                let a =
+                    DistCsr::from_global_coo::<PlusTimesF64>(&acoo, dist, comm.rank(), n);
+                let ac = ColBlocks::build::<PlusTimesF64>(comm, &a);
+                let b =
+                    DistCsr::from_global_coo::<PlusTimesF64>(&bcoo, dist, comm.rank(), d);
+                let cfg = TsConfig::default().with_width_factor(factor, dist);
+                let (_, stats) = ts_spgemm::<PlusTimesF64>(comm, &a, &ac, &b, &cfg);
+                stats.peak_transient_bytes
+            });
+            out.results.into_iter().max().unwrap()
+        };
+        assert!(
+            peak(8) >= peak(1),
+            "wider tiles must not shrink peak transient memory"
+        );
+    }
+}

@@ -1,0 +1,340 @@
+//! Tile-mode selection (§III-D): the communication-free symbolic step.
+//!
+//! For every sub-tile, the rank that owns the matching `B` rows (it also
+//! holds the sub-tile inside its `A^c` block) compares the two ways the
+//! sub-tile's contribution could be realised:
+//!
+//! * **local** mode — ship the needed `B` rows to the tile owner, who
+//!   multiplies (cost ∝ `nnz(B needed)`);
+//! * **remote** mode — multiply here and ship the partial `C` rows back
+//!   (cost ∝ `nnz(C partial)`, counted by a symbolic SpGEMM).
+//!
+//! Whichever moves fewer nonzeros wins (remote only when strictly fewer,
+//! matching the paper's "only works when the number of output nonzeros ...
+//! is less than the number of nonzeros required from B"). Diagonal
+//! sub-tiles (tile owner == B owner) never communicate. The decisions are
+//! then shared with tile owners in one tiny AllToAll of flags.
+
+use crate::dist::DistCsr;
+use crate::tiling::{subtile_csr, SubTileKey, TileBuckets, Tiling};
+use std::collections::HashMap;
+use tsgemm_net::Comm;
+use tsgemm_sparse::semiring::Semiring;
+use tsgemm_sparse::spgemm::spgemm_symbolic;
+use tsgemm_sparse::Idx;
+
+/// How a sub-tile's contribution is computed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TileMode {
+    /// `B` rows move to the tile owner; multiply happens there.
+    Local,
+    /// Multiply happens at the `B` owner; partial `C` rows move back.
+    Remote,
+}
+
+/// Mode-selection policy (`X` in Alg. 2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ModePolicy {
+    /// Per-sub-tile cost comparison — the paper's algorithm.
+    #[default]
+    Hybrid,
+    /// Every sub-tile local (the Fig. 6 "local mode" ablation).
+    LocalOnly,
+    /// Every sub-tile remote (ablation).
+    RemoteOnly,
+}
+
+/// Outcome of the symbolic step on one rank.
+pub struct Modes {
+    /// Modes of the sub-tiles this rank serves (keyed by tile owner, rb, cb).
+    pub serve: HashMap<SubTileKey, TileMode>,
+    /// Modes of this rank's own sub-tiles, keyed by (rb, cb, serving rank).
+    pub own: HashMap<(u32, u32, usize), TileMode>,
+    /// Count of sub-tiles this rank serves in local mode.
+    pub n_local: u64,
+    /// Count served in remote mode.
+    pub n_remote: u64,
+    /// Count of this rank's diagonal sub-tiles (no communication).
+    pub n_diag: u64,
+}
+
+/// Total `nnz` of the local `B` rows a sub-tile needs. Bucket entries are
+/// grouped by local column (the bucketing pass iterates columns in order),
+/// so distinct columns are found by scanning for transitions.
+fn needed_b_nnz<T: Copy, U: Copy>(bucket: &[(Idx, Idx, T)], b_local: &tsgemm_sparse::Csr<U>) -> u64 {
+    let mut needed = 0u64;
+    let mut last_k: Option<Idx> = None;
+    for &(_, k, _) in bucket {
+        if last_k != Some(k) {
+            needed += b_local.row_nnz(k as usize) as u64;
+            last_k = Some(k);
+        }
+    }
+    needed
+}
+
+/// Runs the symbolic step and the mode-exchange AllToAll.
+///
+/// `buckets` is the per-sub-tile view of this rank's `A^c` block; `b` is the
+/// local `B` row block (its rows are exactly the `B` rows this rank serves).
+pub fn decide_modes<S: Semiring>(
+    comm: &mut Comm,
+    tiling: &Tiling,
+    buckets: &TileBuckets<S::T>,
+    b: &DistCsr<S::T>,
+    policy: ModePolicy,
+    tag_prefix: &str,
+) -> Modes {
+    let me = comm.rank();
+    let p = comm.size();
+    let mut serve: HashMap<SubTileKey, TileMode> = HashMap::new();
+    let mut n_local = 0u64;
+    let mut n_remote = 0u64;
+    let mut n_diag = 0u64;
+    let mut sends: Vec<Vec<(u32, u32, u8)>> = (0..p).map(|_| Vec::new()).collect();
+
+    for (&(i, rb, cb), bucket) in &buckets.map {
+        if i == me {
+            n_diag += 1;
+            continue;
+        }
+        let mode = match policy {
+            ModePolicy::LocalOnly => TileMode::Local,
+            ModePolicy::RemoteOnly => TileMode::Remote,
+            ModePolicy::Hybrid => {
+                let needed = needed_b_nnz(bucket, &b.local);
+                if needed == 0 {
+                    // Nothing would move either way; keep it local (no-op).
+                    TileMode::Local
+                } else {
+                    let (band_lo, band_hi) = tiling.band_range(i, rb as usize);
+                    let tile = subtile_csr(
+                        bucket,
+                        band_lo,
+                        (band_hi - band_lo) as usize,
+                        b.local.nrows(),
+                    );
+                    let produced = spgemm_symbolic(&tile, &b.local);
+                    comm.add_flops(produced.flops);
+                    if (produced.nnz() as u64) < needed {
+                        TileMode::Remote
+                    } else {
+                        TileMode::Local
+                    }
+                }
+            }
+        };
+        match mode {
+            TileMode::Local => n_local += 1,
+            TileMode::Remote => n_remote += 1,
+        }
+        serve.insert((i, rb, cb), mode);
+        sends[i].push((rb, cb, mode as u8));
+    }
+
+    let received = comm.alltoallv(sends, format!("{tag_prefix}:modes"));
+    let mut own = HashMap::new();
+    for (j, msgs) in received.into_iter().enumerate() {
+        for (rb, cb, m) in msgs {
+            let mode = if m == TileMode::Remote as u8 {
+                TileMode::Remote
+            } else {
+                TileMode::Local
+            };
+            own.insert((rb, cb, j), mode);
+        }
+    }
+
+    Modes {
+        serve,
+        own,
+        n_local,
+        n_remote,
+        n_diag,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::colpart::ColBlocks;
+    use crate::part::BlockDist;
+    use tsgemm_net::World;
+    use tsgemm_sparse::gen::{erdos_renyi, random_tall};
+    use tsgemm_sparse::{Coo, PlusTimesF64};
+
+    fn setup(
+        comm: &mut Comm,
+        n: usize,
+        acoo: &Coo<f64>,
+        bcoo: &Coo<f64>,
+        d: usize,
+        tiling_of: impl Fn(BlockDist) -> Tiling,
+    ) -> (Tiling, TileBuckets<f64>, DistCsr<f64>) {
+        let p = comm.size();
+        let dist = BlockDist::new(n, p);
+        let a = DistCsr::from_global_coo::<PlusTimesF64>(acoo, dist, comm.rank(), n);
+        let ac = ColBlocks::build::<PlusTimesF64>(comm, &a);
+        let b = DistCsr::from_global_coo::<PlusTimesF64>(bcoo, dist, comm.rank(), d);
+        let tiling = tiling_of(dist);
+        let buckets = TileBuckets::build(&ac, &tiling);
+        (tiling, buckets, b)
+    }
+
+    #[test]
+    fn serve_and_own_are_mirror_images() {
+        let n = 48;
+        let d = 8;
+        let acoo = erdos_renyi(n, 4.0, 3);
+        let bcoo = random_tall(n, d, 0.5, 4);
+        let out = World::run(4, |comm| {
+            let (tiling, buckets, b) =
+                setup(comm, n, &acoo, &bcoo, d, Tiling::default_for);
+            let modes = decide_modes::<PlusTimesF64>(
+                comm,
+                &tiling,
+                &buckets,
+                &b,
+                ModePolicy::Hybrid,
+                "t",
+            );
+            (comm.rank(), modes)
+        });
+        // Every (i, rb, cb) that rank j serves must appear as (rb, cb, j) at i.
+        let mut total_serve = 0usize;
+        let mut total_own = 0usize;
+        for (j, modes) in &out.results {
+            total_serve += modes.serve.len();
+            for (&(i, rb, cb), &mode) in &modes.serve {
+                let owner_modes = &out.results[i].1;
+                assert_eq!(
+                    owner_modes.own.get(&(rb, cb, *j)),
+                    Some(&mode),
+                    "rank {i} must know mode of ({rb},{cb}) served by {j}"
+                );
+            }
+        }
+        for (_, modes) in &out.results {
+            total_own += modes.own.len();
+        }
+        assert_eq!(total_serve, total_own);
+        assert!(total_serve > 0);
+    }
+
+    #[test]
+    fn policies_force_modes() {
+        let n = 32;
+        let d = 4;
+        let acoo = erdos_renyi(n, 5.0, 8);
+        let bcoo = random_tall(n, d, 0.5, 9);
+        for (policy, expect_local, expect_remote) in [
+            (ModePolicy::LocalOnly, true, false),
+            (ModePolicy::RemoteOnly, false, true),
+        ] {
+            let out = World::run(4, |comm| {
+                let (tiling, buckets, b) =
+                    setup(comm, n, &acoo, &bcoo, d, Tiling::default_for);
+                let modes =
+                    decide_modes::<PlusTimesF64>(comm, &tiling, &buckets, &b, policy, "t");
+                (modes.n_local, modes.n_remote)
+            });
+            let local: u64 = out.results.iter().map(|r| r.0).sum();
+            let remote: u64 = out.results.iter().map(|r| r.1).sum();
+            assert_eq!(local > 0, expect_local, "{policy:?}");
+            assert_eq!(remote > 0, expect_remote, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn hybrid_picks_remote_for_dense_tile_sparse_output() {
+        // One very dense A row on rank 1's tile needing many B rows from
+        // rank 0, but producing few C nonzeros (B nearly empty): remote wins.
+        let n = 16;
+        let d = 4;
+        let mut acoo = Coo::new(n, n);
+        // Rank 1 (rows 8..16) row 8 is dense across rank 0's columns 0..8.
+        for c in 0..8 {
+            acoo.push(8, c, 1.0);
+        }
+        // B rows 0..8 (owned by rank 0) each hold the full row of d entries
+        // in the SAME columns -> output row has only d distinct nonzeros but
+        // needs 8*d B nonzeros: produced (4) < needed (32) => Remote.
+        let mut bcoo = Coo::new(n, d);
+        for r in 0..8 {
+            for c in 0..d {
+                bcoo.push(r, c as Idx, 1.0);
+            }
+        }
+        let out = World::run(2, |comm| {
+            let (tiling, buckets, b) = setup(comm, n, &acoo, &bcoo, d, Tiling::default_for);
+            let modes = decide_modes::<PlusTimesF64>(
+                comm,
+                &tiling,
+                &buckets,
+                &b,
+                ModePolicy::Hybrid,
+                "t",
+            );
+            (comm.rank(), modes.n_remote, modes.n_local)
+        });
+        // Rank 0 serves the sub-tile and must have marked it remote.
+        assert_eq!(out.results[0].1, 1, "dense-row sub-tile must go remote");
+    }
+
+    #[test]
+    fn hybrid_picks_local_for_sparse_tile_dense_output() {
+        // A single A entry fans one B row of d entries out to one C row:
+        // needed (d nnz of one B row) vs produced (d) -> not strictly fewer,
+        // stays local. With 2 tile entries in distinct rows sharing one B
+        // row, produced (2d) > needed (d): local clearly wins.
+        let n = 8;
+        let d = 4;
+        let mut acoo = Coo::new(n, n);
+        acoo.push(4, 0, 1.0);
+        acoo.push(5, 0, 1.0);
+        let mut bcoo = Coo::new(n, d);
+        for c in 0..d {
+            bcoo.push(0, c as Idx, 1.0);
+        }
+        let out = World::run(2, |comm| {
+            let (tiling, buckets, b) = setup(comm, n, &acoo, &bcoo, d, Tiling::default_for);
+            let modes = decide_modes::<PlusTimesF64>(
+                comm,
+                &tiling,
+                &buckets,
+                &b,
+                ModePolicy::Hybrid,
+                "t",
+            );
+            (modes.n_remote, modes.n_local)
+        });
+        assert_eq!(out.results[0], (0, 1), "fan-out sub-tile must stay local");
+    }
+
+    #[test]
+    fn diagonal_subtiles_are_counted_not_exchanged() {
+        let n = 24;
+        let d = 4;
+        let acoo = erdos_renyi(n, 6.0, 5);
+        let bcoo = random_tall(n, d, 0.25, 6);
+        let out = World::run(3, |comm| {
+            let (tiling, buckets, b) = setup(comm, n, &acoo, &bcoo, d, Tiling::default_for);
+            let modes = decide_modes::<PlusTimesF64>(
+                comm,
+                &tiling,
+                &buckets,
+                &b,
+                ModePolicy::Hybrid,
+                "t",
+            );
+            let me = comm.rank();
+            let has_self_serve = modes.serve.keys().any(|&(i, _, _)| i == me);
+            let has_self_own = modes.own.keys().any(|&(_, _, j)| j == me);
+            (modes.n_diag, has_self_serve, has_self_own)
+        });
+        for (n_diag, self_serve, self_own) in out.results {
+            assert!(n_diag > 0, "ER diagonal blocks are dense enough");
+            assert!(!self_serve && !self_own, "diagonal must not be exchanged");
+        }
+    }
+}

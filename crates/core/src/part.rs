@@ -1,0 +1,134 @@
+//! 1-D block partitioning.
+//!
+//! All matrices in the algorithm are 1-D partitioned (Table III): `A`, `B`,
+//! `C` by rows, and the extra copy `A^c` by columns, all over the same
+//! `n`-element block distribution. A remainder of `n mod p` is spread over
+//! the first ranks so blocks differ by at most one row.
+
+use tsgemm_sparse::Idx;
+
+/// A block distribution of `n` items over `p` ranks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BlockDist {
+    n: usize,
+    p: usize,
+}
+
+impl BlockDist {
+    pub fn new(n: usize, p: usize) -> Self {
+        assert!(p > 0, "need at least one rank");
+        Self { n, p }
+    }
+
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    pub fn p(&self) -> usize {
+        self.p
+    }
+
+    /// Size of the larger blocks (`⌈n/p⌉`) — the paper's `n/p`.
+    pub fn block(&self) -> usize {
+        self.n.div_ceil(self.p)
+    }
+
+    /// Global range `[lo, hi)` owned by `rank`.
+    pub fn range(&self, rank: usize) -> (Idx, Idx) {
+        assert!(rank < self.p, "rank {rank} out of {}", self.p);
+        let base = self.n / self.p;
+        let rem = self.n % self.p;
+        let lo = rank * base + rank.min(rem);
+        let hi = lo + base + usize::from(rank < rem);
+        (lo as Idx, hi as Idx)
+    }
+
+    /// Number of items `rank` owns.
+    pub fn local_len(&self, rank: usize) -> usize {
+        let (lo, hi) = self.range(rank);
+        (hi - lo) as usize
+    }
+
+    /// The rank owning global index `g`.
+    pub fn owner(&self, g: Idx) -> usize {
+        debug_assert!((g as usize) < self.n, "index {g} out of {}", self.n);
+        let base = self.n / self.p;
+        let rem = self.n % self.p;
+        let g = g as usize;
+        let boundary = rem * (base + 1);
+        if g < boundary {
+            g / (base + 1)
+        } else {
+            rem + (g - boundary) / base.max(1)
+        }
+    }
+
+    /// Converts a global index owned by `rank` to its local offset.
+    pub fn to_local(&self, rank: usize, g: Idx) -> Idx {
+        let (lo, hi) = self.range(rank);
+        debug_assert!(g >= lo && g < hi, "index {g} not owned by rank {rank}");
+        g - lo
+    }
+
+    /// Converts a local offset on `rank` to the global index.
+    pub fn to_global(&self, rank: usize, l: Idx) -> Idx {
+        let (lo, hi) = self.range(rank);
+        let g = lo + l;
+        debug_assert!(g < hi, "local {l} out of block on rank {rank}");
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_split() {
+        let d = BlockDist::new(12, 4);
+        assert_eq!(d.range(0), (0, 3));
+        assert_eq!(d.range(3), (9, 12));
+        assert_eq!(d.block(), 3);
+        assert_eq!(d.local_len(2), 3);
+    }
+
+    #[test]
+    fn remainder_spread_over_first_ranks() {
+        let d = BlockDist::new(10, 3);
+        assert_eq!(d.range(0), (0, 4));
+        assert_eq!(d.range(1), (4, 7));
+        assert_eq!(d.range(2), (7, 10));
+        assert_eq!(d.block(), 4);
+    }
+
+    #[test]
+    fn owner_is_consistent_with_range() {
+        for (n, p) in [(10, 3), (7, 7), (100, 8), (5, 8), (1, 1), (16, 4)] {
+            let d = BlockDist::new(n, p);
+            for rank in 0..p {
+                let (lo, hi) = d.range(rank);
+                for g in lo..hi {
+                    assert_eq!(d.owner(g), rank, "n={n} p={p} g={g}");
+                    assert_eq!(d.to_global(rank, d.to_local(rank, g)), g);
+                }
+            }
+            let total: usize = (0..p).map(|r| d.local_len(r)).sum();
+            assert_eq!(total, n, "blocks must cover exactly n");
+        }
+    }
+
+    #[test]
+    fn more_ranks_than_items_leaves_empty_blocks() {
+        let d = BlockDist::new(3, 5);
+        assert_eq!(d.local_len(0), 1);
+        assert_eq!(d.local_len(3), 0);
+        assert_eq!(d.local_len(4), 0);
+        assert_eq!(d.owner(2), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn range_rejects_bad_rank() {
+        let _ = BlockDist::new(4, 2).range(2);
+    }
+}

@@ -1,0 +1,280 @@
+//! Sparsity-aware tiling of the virtual 2-D layout (§III-B).
+//!
+//! Each rank's row block `A_i` is processed in `h × w` tiles: `h ≤ n/p` rows
+//! of the block by `w ≤ n` global columns (Table IV defaults: `h = n/p`,
+//! `w = 16·n/p`). A *sub-tile* is the intersection of a tile with one
+//! serving rank's column range — the unit for which the local/remote mode
+//! decision is made, since one rank owns all the `B` rows a sub-tile needs.
+//!
+//! The `A^c` side pre-buckets its entries by `(tile owner, row band, column
+//! band)` once; both the symbolic mode pass and the numeric remote multiply
+//! then work from the buckets without rescanning the CSC.
+
+use crate::colpart::ColBlocks;
+use crate::part::BlockDist;
+use std::collections::HashMap;
+use tsgemm_sparse::{Csr, Idx};
+
+/// Tile grid geometry, uniform across ranks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Tiling {
+    pub dist: BlockDist,
+    /// Tile height in rows (within a rank's row block).
+    pub h: usize,
+    /// Tile width in global columns.
+    pub w: usize,
+    /// Row bands per rank (computed from the largest block so every rank
+    /// executes the same number of steps; trailing bands may be empty).
+    pub n_row_bands: usize,
+    /// Column bands over the global column space.
+    pub n_col_bands: usize,
+}
+
+impl Tiling {
+    pub fn new(dist: BlockDist, h: usize, w: usize) -> Self {
+        assert!(h >= 1, "tile height must be positive");
+        assert!(w >= 1, "tile width must be positive");
+        let block = dist.block().max(1);
+        Self {
+            dist,
+            h,
+            w,
+            n_row_bands: block.div_ceil(h),
+            n_col_bands: dist.n().max(1).div_ceil(w),
+        }
+    }
+
+    /// The paper's defaults (Table IV): `h = n/p`, `w = 16·n/p` (clamped to n).
+    pub fn default_for(dist: BlockDist) -> Self {
+        let block = dist.block().max(1);
+        Self::new(dist, block, (16 * block).min(dist.n().max(1)))
+    }
+
+    /// Like [`Tiling::default_for`] but with `w = factor·n/p` (Fig. 5 sweep).
+    pub fn with_width_factor(dist: BlockDist, factor: usize) -> Self {
+        let block = dist.block().max(1);
+        Self::new(dist, block, (factor * block).min(dist.n().max(1)).max(1))
+    }
+
+    /// Global row range of `rank`'s band `rb` (may be empty).
+    pub fn band_range(&self, rank: usize, rb: usize) -> (Idx, Idx) {
+        let (lo, hi) = self.dist.range(rank);
+        let blo = (lo as usize + rb * self.h).min(hi as usize) as Idx;
+        let bhi = (lo as usize + (rb + 1) * self.h).min(hi as usize) as Idx;
+        (blo, bhi)
+    }
+
+    /// Which band of its owner's block a global row falls into.
+    pub fn band_of(&self, owner: usize, g: Idx) -> usize {
+        let (lo, _) = self.dist.range(owner);
+        (g - lo) as usize / self.h
+    }
+
+    /// Global column range of column band `cb` (clamped to `n`).
+    pub fn col_band_range(&self, cb: usize) -> (Idx, Idx) {
+        let lo = (cb * self.w).min(self.dist.n()) as Idx;
+        let hi = ((cb + 1) * self.w).min(self.dist.n()) as Idx;
+        (lo, hi)
+    }
+
+    /// Column band of a global column.
+    pub fn col_band_of(&self, c: Idx) -> usize {
+        c as usize / self.w
+    }
+
+    /// Total tile steps each rank executes.
+    pub fn steps(&self) -> usize {
+        self.n_row_bands * self.n_col_bands
+    }
+}
+
+/// Key of a sub-tile: (tile-owning rank `i`, row band, column band).
+pub type SubTileKey = (usize, u32, u32);
+
+/// `A^c` entries bucketed per sub-tile: `(global row, local column, value)`.
+pub struct TileBuckets<T> {
+    pub map: HashMap<SubTileKey, Vec<(Idx, Idx, T)>>,
+}
+
+impl<T: Copy> TileBuckets<T> {
+    /// One pass over the local column block, assigning every entry to the
+    /// sub-tile it belongs to.
+    pub fn build(ac: &ColBlocks<T>, tiling: &Tiling) -> Self {
+        let (clo, _) = ac.col_range();
+        let mut map: HashMap<SubTileKey, Vec<(Idx, Idx, T)>> = HashMap::new();
+        for (k, rows, vals) in ac.local.iter_cols() {
+            let g_col = clo + k as Idx;
+            let cb = tiling.col_band_of(g_col) as u32;
+            for (&r, &v) in rows.iter().zip(vals) {
+                let i = tiling.dist.owner(r);
+                let rb = tiling.band_of(i, r) as u32;
+                map.entry((i, rb, cb))
+                    .or_default()
+                    .push((r, k as Idx, v));
+            }
+        }
+        Self { map }
+    }
+
+    pub fn get(&self, key: &SubTileKey) -> Option<&[(Idx, Idx, T)]> {
+        self.map.get(key).map(|v| v.as_slice())
+    }
+}
+
+/// Builds a CSR from triplets with unique coordinates (no semiring needed;
+/// sub-tile entries come from a matrix, so duplicates cannot occur).
+pub fn csr_from_unique_triplets<T: Copy>(
+    nrows: usize,
+    ncols: usize,
+    mut trips: Vec<(Idx, Idx, T)>,
+) -> Csr<T> {
+    trips.sort_unstable_by_key(|&(r, c, _)| (r, c));
+    let mut indptr = Vec::with_capacity(nrows + 1);
+    indptr.push(0);
+    let mut indices = Vec::with_capacity(trips.len());
+    let mut values = Vec::with_capacity(trips.len());
+    let mut row = 0usize;
+    for (r, c, v) in trips {
+        while row < r as usize {
+            indptr.push(indices.len());
+            row += 1;
+        }
+        indices.push(c);
+        values.push(v);
+    }
+    while row < nrows {
+        indptr.push(indices.len());
+        row += 1;
+    }
+    Csr::from_parts(nrows, ncols, indptr, indices, values)
+}
+
+/// Materialises a sub-tile as a CSR with band-local rows (`0..band_height`)
+/// and block-local columns (`0..width`), ready to multiply against the
+/// serving rank's local `B` block.
+pub fn subtile_csr<T: Copy>(
+    bucket: &[(Idx, Idx, T)],
+    band_lo: Idx,
+    band_rows: usize,
+    width: usize,
+) -> Csr<T> {
+    let trips: Vec<(Idx, Idx, T)> = bucket
+        .iter()
+        .map(|&(r, k, v)| (r - band_lo, k, v))
+        .collect();
+    csr_from_unique_triplets(band_rows, width, trips)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::DistCsr;
+    use tsgemm_net::World;
+    use tsgemm_sparse::gen::erdos_renyi;
+    use tsgemm_sparse::PlusTimesF64;
+
+    #[test]
+    fn default_tiling_matches_table_iv() {
+        let dist = BlockDist::new(160, 10); // block = 16
+        let t = Tiling::default_for(dist);
+        assert_eq!(t.h, 16);
+        assert_eq!(t.w, 160);
+        assert_eq!(t.n_row_bands, 1);
+        assert_eq!(t.n_col_bands, 1);
+    }
+
+    #[test]
+    fn width_factor_sweep() {
+        let dist = BlockDist::new(64, 8); // block = 8
+        for f in [1, 2, 4, 8] {
+            let t = Tiling::with_width_factor(dist, f);
+            assert_eq!(t.w, (f * 8).min(64));
+            assert_eq!(t.n_col_bands, 64usize.div_ceil(t.w));
+        }
+    }
+
+    #[test]
+    fn band_ranges_cover_block() {
+        let dist = BlockDist::new(50, 4); // blocks 13,13,12,12
+        let t = Tiling::new(dist, 5, 10);
+        assert_eq!(t.n_row_bands, 3); // ceil(13/5)
+        for rank in 0..4 {
+            let (lo, hi) = dist.range(rank);
+            let mut covered = 0;
+            for rb in 0..t.n_row_bands {
+                let (blo, bhi) = t.band_range(rank, rb);
+                assert!(blo >= lo && bhi <= hi);
+                covered += (bhi - blo) as usize;
+            }
+            assert_eq!(covered, (hi - lo) as usize);
+        }
+        // Last band of a short block is empty.
+        let (blo, bhi) = t.band_range(2, 2);
+        assert_eq!(bhi - blo, 2); // 12 rows = 5+5+2
+    }
+
+    #[test]
+    fn col_bands_cover_n() {
+        let dist = BlockDist::new(23, 3);
+        let t = Tiling::new(dist, 8, 7);
+        assert_eq!(t.n_col_bands, 4);
+        let mut covered = 0;
+        for cb in 0..t.n_col_bands {
+            let (lo, hi) = t.col_band_range(cb);
+            covered += (hi - lo) as usize;
+            for c in lo..hi {
+                assert_eq!(t.col_band_of(c), cb);
+            }
+        }
+        assert_eq!(covered, 23);
+    }
+
+    #[test]
+    fn buckets_partition_the_col_block() {
+        let n = 60;
+        let p = 3;
+        let coo = erdos_renyi(n, 5.0, 17);
+        let out = World::run(p, |comm| {
+            let dist = BlockDist::new(n, p);
+            let a = DistCsr::from_global_coo::<PlusTimesF64>(&coo, dist, comm.rank(), n);
+            let ac = crate::colpart::ColBlocks::build::<PlusTimesF64>(comm, &a);
+            let t = Tiling::new(dist, 10, 15);
+            let buckets = TileBuckets::build(&ac, &t);
+            let total: usize = buckets.map.values().map(|v| v.len()).sum();
+            (total, ac.local.nnz(), buckets.map.len())
+        });
+        for (bucketed, nnz, groups) in out.results {
+            assert_eq!(bucketed, nnz, "every entry lands in exactly one bucket");
+            assert!(groups > 0);
+        }
+    }
+
+    #[test]
+    fn subtile_matches_dense_extraction() {
+        // Build a small known matrix and extract a subtile by hand.
+        let bucket = vec![(10 as Idx, 0 as Idx, 1.0), (11, 2, 2.0), (10, 2, 3.0)];
+        let t = subtile_csr(&bucket, 10, 3, 4);
+        assert_eq!(t.nrows(), 3);
+        assert_eq!(t.ncols(), 4);
+        assert_eq!(t.get(0, 0), Some(1.0));
+        assert_eq!(t.get(0, 2), Some(3.0));
+        assert_eq!(t.get(1, 2), Some(2.0));
+        assert_eq!(t.row(2).0.len(), 0);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn csr_from_unique_triplets_sorts() {
+        let m = csr_from_unique_triplets(2, 3, vec![(1, 2, 5.0), (0, 1, 1.0), (1, 0, 2.0)]);
+        assert_eq!(m.row(1).0, &[0, 2]);
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn steps_are_uniform() {
+        let dist = BlockDist::new(100, 7);
+        let t = Tiling::new(dist, 4, 30);
+        assert_eq!(t.steps(), t.n_row_bands * t.n_col_bands);
+        assert_eq!(t.n_row_bands, 15usize.div_ceil(4));
+    }
+}

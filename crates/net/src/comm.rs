@@ -1,0 +1,711 @@
+//! The communicator: lock-step collectives over in-memory mailboxes.
+//!
+//! Every rank of a group holds a [`Comm`]. Collectives must be invoked by
+//! all group members in the same order (the usual MPI contract); each
+//! message carries a `(sequence, kind)` envelope and receivers assert that
+//! envelopes match, so a mismatched collective fails loudly instead of
+//! deadlocking silently.
+//!
+//! Payloads are moved, not serialized: a rank "sends" a `Vec<T>` by boxing
+//! it and handing ownership through a channel. Byte accounting uses
+//! `len * size_of::<T>()`, which corresponds to the dense wire size an MPI
+//! implementation would transfer for the same typed buffer.
+
+use crate::stats::{CollKind, CollectiveRecord, GroupInfo, RankProfile};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::any::Any;
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+struct Msg {
+    src: usize,
+    seq: u64,
+    kind: CollKind,
+    payload: Box<dyn Any + Send>,
+}
+
+/// Shared state of one communicator group.
+pub(crate) struct GroupShared {
+    info: Arc<GroupInfo>,
+    /// One inbound channel per member (indexed by group rank).
+    senders: Vec<Sender<Msg>>,
+    receivers: Vec<Receiver<Msg>>,
+    barrier: Barrier,
+    /// Sub-groups created by `split`, keyed by (split generation, color).
+    splits: Mutex<HashMap<(u64, usize), Arc<GroupShared>>>,
+}
+
+impl GroupShared {
+    pub(crate) fn new(world_ranks: Vec<usize>) -> Arc<Self> {
+        let size = world_ranks.len();
+        let mut senders = Vec::with_capacity(size);
+        let mut receivers = Vec::with_capacity(size);
+        for _ in 0..size {
+            let (s, r) = unbounded();
+            senders.push(s);
+            receivers.push(r);
+        }
+        Arc::new(Self {
+            info: Arc::new(GroupInfo { world_ranks }),
+            senders,
+            receivers,
+            barrier: Barrier::new(size),
+            splits: Mutex::new(HashMap::new()),
+        })
+    }
+}
+
+/// A communicator handle held by one rank of one group.
+pub struct Comm {
+    group: Arc<GroupShared>,
+    rank: usize,
+    seq: u64,
+    split_gen: u64,
+    /// Out-of-order messages parked until their source is being drained.
+    pending: Vec<VecDeque<Msg>>,
+    profile: Arc<Mutex<RankProfile>>,
+}
+
+impl Comm {
+    pub(crate) fn new(group: Arc<GroupShared>, rank: usize, profile: Arc<Mutex<RankProfile>>) -> Self {
+        let size = group.info.world_ranks.len();
+        Self {
+            group,
+            rank,
+            seq: 0,
+            split_gen: 0,
+            pending: (0..size).map(|_| VecDeque::new()).collect(),
+            profile,
+        }
+    }
+
+    /// This rank's index within the group.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the group.
+    pub fn size(&self) -> usize {
+        self.group.info.world_ranks.len()
+    }
+
+    /// This rank's index in the world communicator.
+    pub fn world_rank(&self) -> usize {
+        self.group.info.world_ranks[self.rank]
+    }
+
+    /// World ranks of all group members (`group rank -> world rank`).
+    pub fn group_world_ranks(&self) -> &[usize] {
+        &self.group.info.world_ranks
+    }
+
+    /// Credits useful work to the current compute segment (the simulated
+    /// equivalent of time spent in OpenMP kernels).
+    pub fn add_flops(&self, flops: u64) {
+        self.profile.lock().add_flops(flops);
+    }
+
+    /// Notes the compute working set of the kernel whose flops are being
+    /// credited (see [`RankProfile::note_working_set`]).
+    pub fn note_working_set(&self, bytes: u64) {
+        self.profile.lock().note_working_set(bytes);
+    }
+
+    /// Read access to this rank's profile so far (e.g. for per-iteration
+    /// statistics inside applications).
+    pub fn with_profile<R>(&self, f: impl FnOnce(&RankProfile) -> R) -> R {
+        f(&self.profile.lock())
+    }
+
+    fn next_seq(&mut self) -> u64 {
+        let s = self.seq;
+        self.seq += 1;
+        s
+    }
+
+    fn send_to(&self, dst: usize, seq: u64, kind: CollKind, payload: Box<dyn Any + Send>) {
+        self.group.senders[dst]
+            .send(Msg {
+                src: self.rank,
+                seq,
+                kind,
+                payload,
+            })
+            .expect("peer rank hung up mid-collective");
+    }
+
+    /// Receives the message for (`src`, `seq`, `kind`), parking any
+    /// out-of-order messages from other sources.
+    fn recv_from(&mut self, src: usize, seq: u64, kind: CollKind) -> Box<dyn Any + Send> {
+        if let Some(pos) = self.pending[src].front() {
+            assert_eq!(
+                (pos.seq, pos.kind),
+                (seq, kind),
+                "collective mismatch: rank {} expected {:?} #{} from {} but peer sent {:?} #{}",
+                self.rank,
+                kind,
+                seq,
+                src,
+                pos.kind,
+                pos.seq
+            );
+            return self.pending[src].pop_front().unwrap().payload;
+        }
+        loop {
+            let msg = self.group.receivers[self.rank]
+                .recv()
+                .expect("peer rank hung up mid-collective");
+            if msg.src == src {
+                assert_eq!(
+                    (msg.seq, msg.kind),
+                    (seq, kind),
+                    "collective mismatch: rank {} expected {:?} #{} from {} but peer sent {:?} #{}",
+                    self.rank,
+                    kind,
+                    seq,
+                    src,
+                    msg.kind,
+                    msg.seq
+                );
+                return msg.payload;
+            }
+            let s = msg.src;
+            self.pending[s].push_back(msg);
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn record(
+        &self,
+        kind: CollKind,
+        tag: String,
+        bytes_to: Vec<(usize, u64)>,
+        bytes_received: u64,
+        recv_msgs: u32,
+        uniform_bytes: u64,
+        entered: Instant,
+    ) {
+        let rec = CollectiveRecord {
+            kind,
+            tag,
+            group: Arc::clone(&self.group.info),
+            bytes_to,
+            bytes_received,
+            recv_msgs,
+            uniform_bytes,
+            wait_secs: entered.elapsed().as_secs_f64(),
+        };
+        self.profile.lock().end_segment(rec, entered);
+    }
+
+    /// Personalised all-to-all: `sends[j]` goes to group rank `j`; returns
+    /// the vector received from each rank (own data passes through by move).
+    ///
+    /// # Panics
+    /// Panics if `sends.len() != self.size()` or on collective mismatch.
+    #[allow(clippy::needless_range_loop)] // dst/src are rank ids, not slice walks
+    pub fn alltoallv<T: Send + 'static>(
+        &mut self,
+        mut sends: Vec<Vec<T>>,
+        tag: impl Into<String>,
+    ) -> Vec<Vec<T>> {
+        assert_eq!(sends.len(), self.size(), "one send buffer per rank");
+        let entered = Instant::now();
+        let seq = self.next_seq();
+        let elem = std::mem::size_of::<T>() as u64;
+        let mut bytes_to = Vec::with_capacity(self.size().saturating_sub(1));
+        for dst in 0..self.size() {
+            if dst == self.rank {
+                continue;
+            }
+            let data = std::mem::take(&mut sends[dst]);
+            if !data.is_empty() {
+                bytes_to.push((self.group.info.world_ranks[dst], data.len() as u64 * elem));
+            }
+            self.send_to(dst, seq, CollKind::AllToAllV, Box::new(data));
+        }
+        let mut received = 0u64;
+        let mut recv_msgs = 0u32;
+        let mut recvs: Vec<Vec<T>> = Vec::with_capacity(self.size());
+        for src in 0..self.size() {
+            if src == self.rank {
+                recvs.push(std::mem::take(&mut sends[src]));
+            } else {
+                let payload = self.recv_from(src, seq, CollKind::AllToAllV);
+                let data = *payload
+                    .downcast::<Vec<T>>()
+                    .expect("payload type mismatch in alltoallv");
+                if !data.is_empty() {
+                    recv_msgs += 1;
+                }
+                received += data.len() as u64 * elem;
+                recvs.push(data);
+            }
+        }
+        self.record(
+            CollKind::AllToAllV,
+            tag.into(),
+            bytes_to,
+            received,
+            recv_msgs,
+            0,
+            entered,
+        );
+        recvs
+    }
+
+    /// All-gather with variable contribution sizes; returns one vector per
+    /// source rank (including this one), indexed by group rank.
+    pub fn allgatherv<T: Clone + Send + 'static>(
+        &mut self,
+        data: Vec<T>,
+        tag: impl Into<String>,
+    ) -> Vec<Vec<T>> {
+        let entered = Instant::now();
+        let seq = self.next_seq();
+        let elem = std::mem::size_of::<T>() as u64;
+        let own_bytes = data.len() as u64 * elem;
+        let mut bytes_to = Vec::with_capacity(self.size().saturating_sub(1));
+        for dst in 0..self.size() {
+            if dst == self.rank {
+                continue;
+            }
+            if own_bytes > 0 {
+                bytes_to.push((self.group.info.world_ranks[dst], own_bytes));
+            }
+            self.send_to(dst, seq, CollKind::AllGatherV, Box::new(data.clone()));
+        }
+        let mut received = 0u64;
+        let mut out = Vec::with_capacity(self.size());
+        for src in 0..self.size() {
+            if src == self.rank {
+                out.push(data.clone());
+            } else {
+                let payload = self.recv_from(src, seq, CollKind::AllGatherV);
+                let v = *payload
+                    .downcast::<Vec<T>>()
+                    .expect("payload type mismatch in allgatherv");
+                received += v.len() as u64 * elem;
+                out.push(v);
+            }
+        }
+        self.record(
+            CollKind::AllGatherV,
+            tag.into(),
+            bytes_to,
+            received,
+            0,
+            own_bytes,
+            entered,
+        );
+        out
+    }
+
+    /// Broadcast from `root`. The root passes `Some(value)`, others `None`.
+    pub fn bcast<T: Clone + Send + 'static>(
+        &mut self,
+        root: usize,
+        value: Option<T>,
+        tag: impl Into<String>,
+    ) -> T {
+        assert!(root < self.size(), "root out of range");
+        let entered = Instant::now();
+        let seq = self.next_seq();
+        let elem = std::mem::size_of::<T>() as u64;
+        if self.rank == root {
+            let v = value.expect("root must supply the broadcast value");
+            let mut bytes_to = Vec::with_capacity(self.size().saturating_sub(1));
+            for dst in 0..self.size() {
+                if dst == root {
+                    continue;
+                }
+                bytes_to.push((self.group.info.world_ranks[dst], elem));
+                self.send_to(dst, seq, CollKind::Bcast, Box::new(v.clone()));
+            }
+            self.record(CollKind::Bcast, tag.into(), bytes_to, 0, 0, elem, entered);
+            v
+        } else {
+            assert!(value.is_none(), "non-root must pass None");
+            let payload = self.recv_from(root, seq, CollKind::Bcast);
+            let v = *payload
+                .downcast::<T>()
+                .expect("payload type mismatch in bcast");
+            self.record(CollKind::Bcast, tag.into(), Vec::new(), elem, 0, elem, entered);
+            v
+        }
+    }
+
+    /// Broadcast of a variable-length buffer from `root`; non-roots pass an
+    /// empty vector. Accounted as `len · size_of::<T>()` payload bytes
+    /// (unlike [`Comm::bcast`], whose payload is a single fixed-size value).
+    pub fn bcast_vec<T: Clone + Send + 'static>(
+        &mut self,
+        root: usize,
+        data: Vec<T>,
+        tag: impl Into<String>,
+    ) -> Vec<T> {
+        assert!(root < self.size(), "root out of range");
+        let entered = Instant::now();
+        let seq = self.next_seq();
+        let elem = std::mem::size_of::<T>() as u64;
+        if self.rank == root {
+            let bytes = data.len() as u64 * elem;
+            let mut bytes_to = Vec::with_capacity(self.size().saturating_sub(1));
+            for dst in 0..self.size() {
+                if dst == root {
+                    continue;
+                }
+                if bytes > 0 {
+                    bytes_to.push((self.group.info.world_ranks[dst], bytes));
+                }
+                self.send_to(dst, seq, CollKind::Bcast, Box::new(data.clone()));
+            }
+            self.record(CollKind::Bcast, tag.into(), bytes_to, 0, 0, bytes, entered);
+            data
+        } else {
+            let payload = self.recv_from(root, seq, CollKind::Bcast);
+            let v = *payload
+                .downcast::<Vec<T>>()
+                .expect("payload type mismatch in bcast_vec");
+            let bytes = v.len() as u64 * elem;
+            self.record(CollKind::Bcast, tag.into(), Vec::new(), bytes, 0, bytes, entered);
+            v
+        }
+    }
+
+    /// All-reduce with a user-supplied associative, commutative `op`.
+    ///
+    /// Implemented as gather-to-all followed by a local fold in group-rank
+    /// order (so results are bit-identical across ranks); the cost model
+    /// prices it as a tree reduce-broadcast.
+    pub fn allreduce<T: Clone + Send + 'static>(
+        &mut self,
+        value: T,
+        op: impl Fn(T, T) -> T,
+        tag: impl Into<String>,
+    ) -> T {
+        let entered = Instant::now();
+        let seq = self.next_seq();
+        let elem = std::mem::size_of::<T>() as u64;
+        let mut bytes_to = Vec::with_capacity(self.size().saturating_sub(1));
+        for dst in 0..self.size() {
+            if dst == self.rank {
+                continue;
+            }
+            bytes_to.push((self.group.info.world_ranks[dst], elem));
+            self.send_to(dst, seq, CollKind::AllReduce, Box::new(value.clone()));
+        }
+        let mut acc: Option<T> = None;
+        for src in 0..self.size() {
+            let v = if src == self.rank {
+                value.clone()
+            } else {
+                *self
+                    .recv_from(src, seq, CollKind::AllReduce)
+                    .downcast::<T>()
+                    .expect("payload type mismatch in allreduce")
+            };
+            acc = Some(match acc {
+                None => v,
+                Some(a) => op(a, v),
+            });
+        }
+        self.record(
+            CollKind::AllReduce,
+            tag.into(),
+            bytes_to,
+            elem * (self.size() as u64 - 1),
+            0,
+            elem,
+            entered,
+        );
+        acc.unwrap()
+    }
+
+    /// Gather variable-size contributions at `root`; returns `Some(vec of
+    /// per-rank data)` at the root and `None` elsewhere.
+    pub fn gatherv<T: Send + 'static>(
+        &mut self,
+        data: Vec<T>,
+        root: usize,
+        tag: impl Into<String>,
+    ) -> Option<Vec<Vec<T>>> {
+        assert!(root < self.size(), "root out of range");
+        let entered = Instant::now();
+        let seq = self.next_seq();
+        let elem = std::mem::size_of::<T>() as u64;
+        if self.rank == root {
+            let mut out = Vec::with_capacity(self.size());
+            let mut received = 0u64;
+            for src in 0..self.size() {
+                if src == root {
+                    // Placeholder replaced below to keep index order.
+                    out.push(Vec::new());
+                } else {
+                    let v = *self
+                        .recv_from(src, seq, CollKind::GatherV)
+                        .downcast::<Vec<T>>()
+                        .expect("payload type mismatch in gatherv");
+                    received += v.len() as u64 * elem;
+                    out.push(v);
+                }
+            }
+            out[root] = data;
+            self.record(CollKind::GatherV, tag.into(), Vec::new(), received, 0, 0, entered);
+            Some(out)
+        } else {
+            let bytes = data.len() as u64 * elem;
+            let bytes_to = if bytes > 0 {
+                vec![(self.group.info.world_ranks[root], bytes)]
+            } else {
+                Vec::new()
+            };
+            self.send_to(root, seq, CollKind::GatherV, Box::new(data));
+            self.record(CollKind::GatherV, tag.into(), bytes_to, 0, 0, 0, entered);
+            None
+        }
+    }
+
+    /// Synchronises all group members.
+    pub fn barrier(&mut self, tag: impl Into<String>) {
+        let entered = Instant::now();
+        let _ = self.next_seq();
+        self.group.barrier.wait();
+        self.record(CollKind::Barrier, tag.into(), Vec::new(), 0, 0, 0, entered);
+    }
+
+    /// Splits the communicator into sub-communicators: members with equal
+    /// `color` form a group, ordered by `(key, parent rank)`. Mirrors
+    /// `MPI_Comm_split`; used to build the SUMMA row/column/layer grids.
+    pub fn split(&mut self, color: usize, key: usize) -> Comm {
+        // Exchange (color, key) so every member can compute all groups.
+        let info = self.allgatherv(vec![(color, key, self.rank)], "comm:split");
+        let gen = self.split_gen;
+        self.split_gen += 1;
+
+        let mut members: Vec<(usize, usize)> = info
+            .iter()
+            .flatten()
+            .filter(|&&(c, _, _)| c == color)
+            .map(|&(_, k, r)| (k, r))
+            .collect();
+        members.sort_unstable();
+        let my_new_rank = members
+            .iter()
+            .position(|&(_, r)| r == self.rank)
+            .expect("splitting rank must be in its own color group");
+        let world_ranks: Vec<usize> = members
+            .iter()
+            .map(|&(_, r)| self.group.info.world_ranks[r])
+            .collect();
+
+        let shared = {
+            let mut splits = self.group.splits.lock();
+            Arc::clone(
+                splits
+                    .entry((gen, color))
+                    .or_insert_with(|| GroupShared::new(world_ranks)),
+            )
+        };
+        Comm::new(shared, my_new_rank, Arc::clone(&self.profile))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::world::World;
+
+    #[test]
+    fn alltoallv_exchanges_personalised_data() {
+        let out = World::run(4, |comm| {
+            let sends: Vec<Vec<u64>> = (0..4)
+                .map(|dst| vec![(comm.rank() * 10 + dst) as u64])
+                .collect();
+            let recv = comm.alltoallv(sends, "t");
+            recv.iter().map(|v| v[0]).collect::<Vec<_>>()
+        });
+        for (rank, got) in out.results.iter().enumerate() {
+            let expect: Vec<u64> = (0..4).map(|src| (src * 10 + rank) as u64).collect();
+            assert_eq!(got, &expect);
+        }
+    }
+
+    #[test]
+    fn alltoallv_handles_empty_buffers() {
+        let out = World::run(3, |comm| {
+            let mut sends: Vec<Vec<u8>> = vec![Vec::new(); 3];
+            if comm.rank() == 0 {
+                sends[2] = vec![9, 9];
+            }
+            let recv = comm.alltoallv(sends, "t");
+            recv.iter().map(|v| v.len()).sum::<usize>()
+        });
+        assert_eq!(out.results, vec![0, 0, 2]);
+    }
+
+    #[test]
+    fn allgatherv_collects_everything() {
+        let out = World::run(3, |comm| {
+            let data = vec![comm.rank() as u32; comm.rank() + 1];
+            comm.allgatherv(data, "t")
+        });
+        for res in &out.results {
+            assert_eq!(res.len(), 3);
+            for (src, v) in res.iter().enumerate() {
+                assert_eq!(v, &vec![src as u32; src + 1]);
+            }
+        }
+    }
+
+    #[test]
+    fn bcast_distributes_root_value() {
+        let out = World::run(4, |comm| {
+            let v = if comm.rank() == 2 { Some(99u64) } else { None };
+            comm.bcast(2, v, "t")
+        });
+        assert_eq!(out.results, vec![99, 99, 99, 99]);
+    }
+
+    #[test]
+    fn bcast_vec_moves_buffers_and_accounts_bytes() {
+        let out = World::run(3, |comm| {
+            let data = if comm.rank() == 0 {
+                vec![1u64, 2, 3]
+            } else {
+                Vec::new()
+            };
+            comm.bcast_vec(0, data, "blk")
+        });
+        assert!(out.results.iter().all(|v| v == &vec![1, 2, 3]));
+        // Root sent 3 u64 to each of 2 peers.
+        assert_eq!(out.profiles[0].bytes_sent_tagged("blk"), 2 * 24);
+        assert_eq!(out.profiles[1].bytes_sent_tagged("blk"), 0);
+    }
+
+    #[test]
+    fn allreduce_folds_commutatively() {
+        let out = World::run(5, |comm| comm.allreduce(comm.rank() as u64 + 1, |a, b| a + b, "t"));
+        assert_eq!(out.results, vec![15; 5]);
+    }
+
+    #[test]
+    fn gatherv_collects_at_root() {
+        let out = World::run(3, |comm| {
+            let data = vec![comm.rank() as u8 * 2];
+            comm.gatherv(data, 1, "t")
+        });
+        assert!(out.results[0].is_none());
+        assert!(out.results[2].is_none());
+        let at_root = out.results[1].as_ref().unwrap();
+        assert_eq!(at_root, &vec![vec![0u8], vec![2u8], vec![4u8]]);
+    }
+
+    #[test]
+    fn barrier_and_sequencing() {
+        let out = World::run(4, |comm| {
+            comm.barrier("sync");
+            comm.allreduce(1u32, |a, b| a + b, "count")
+        });
+        assert_eq!(out.results, vec![4; 4]);
+    }
+
+    #[test]
+    fn split_forms_row_groups() {
+        // 2x2 grid: color = row, key = col.
+        let out = World::run(4, |comm| {
+            let row = comm.rank() / 2;
+            let col = comm.rank() % 2;
+            let mut row_comm = comm.split(row, col);
+            let ids = row_comm.allgatherv(vec![comm.rank()], "rowids");
+            (row_comm.rank(), row_comm.size(), ids.into_iter().flatten().collect::<Vec<_>>())
+        });
+        assert_eq!(out.results[0], (0, 2, vec![0, 1]));
+        assert_eq!(out.results[1], (1, 2, vec![0, 1]));
+        assert_eq!(out.results[2], (0, 2, vec![2, 3]));
+        assert_eq!(out.results[3], (1, 2, vec![2, 3]));
+    }
+
+    #[test]
+    fn nested_split_of_split() {
+        // Split 8 ranks into two halves, then each half into pairs.
+        let out = World::run(8, |comm| {
+            let mut half = comm.split(comm.rank() / 4, comm.rank() % 4);
+            let mut pair = half.split(half.rank() / 2, half.rank() % 2);
+            pair.allreduce(comm.world_rank() as u64, |a, b| a + b, "t")
+        });
+        assert_eq!(out.results, vec![1, 1, 5, 5, 9, 9, 13, 13]);
+    }
+
+    #[test]
+    fn split_world_ranks_are_consistent() {
+        let out = World::run(4, |comm| {
+            let color = comm.rank() % 2;
+            let sub = comm.split(color, comm.rank());
+            sub.group_world_ranks().to_vec()
+        });
+        assert_eq!(out.results[0], vec![0, 2]);
+        assert_eq!(out.results[1], vec![1, 3]);
+        assert_eq!(out.results[2], vec![0, 2]);
+    }
+
+    #[test]
+    fn byte_accounting_matches_payloads() {
+        let out = World::run(2, |comm| {
+            let sends: Vec<Vec<u64>> = if comm.rank() == 0 {
+                vec![vec![], vec![1, 2, 3]]
+            } else {
+                vec![vec![7], vec![]]
+            };
+            comm.alltoallv(sends, "payload");
+        });
+        // Rank 0 sent 3 u64 = 24 bytes; rank 1 sent 8.
+        assert_eq!(out.profiles[0].total_bytes_sent(), 24);
+        assert_eq!(out.profiles[1].total_bytes_sent(), 8);
+        assert_eq!(out.profiles[0].bytes_sent_tagged("payload"), 24);
+    }
+
+    #[test]
+    fn conservation_sent_equals_received() {
+        let out = World::run(4, |comm| {
+            let sends: Vec<Vec<u32>> = (0..4).map(|d| vec![d as u32; comm.rank() + d]).collect();
+            comm.alltoallv(sends, "t");
+        });
+        let sent: u64 = out.profiles.iter().map(|p| p.total_bytes_sent()).sum();
+        let received: u64 = out
+            .profiles
+            .iter()
+            .flat_map(|p| p.segments.iter())
+            .filter_map(|s| s.coll.as_ref())
+            .map(|c| c.bytes_received)
+            .sum();
+        assert_eq!(sent, received);
+        assert!(sent > 0);
+    }
+
+    #[test]
+    fn flops_attributed_to_segments() {
+        let out = World::run(2, |comm| {
+            comm.add_flops(100);
+            comm.barrier("s1");
+            comm.add_flops(50);
+        });
+        for p in &out.profiles {
+            assert_eq!(p.total_flops(), 150);
+            assert_eq!(p.segments[0].flops, 100);
+        }
+    }
+
+    #[test]
+    fn single_rank_world_works() {
+        let out = World::run(1, |comm| {
+            let r = comm.alltoallv(vec![vec![5u8]], "self");
+            let g = comm.allgatherv(vec![1u16], "g");
+            let b = comm.bcast(0, Some(3u32), "b");
+            (r[0][0], g[0][0], b)
+        });
+        assert_eq!(out.results, vec![(5, 1, 3)]);
+        assert_eq!(out.profiles[0].total_bytes_sent(), 0);
+    }
+}

@@ -1,0 +1,141 @@
+//! Torture tests for the simulated runtime: randomized collective sequences
+//! must deliver exactly the right data to exactly the right ranks, and the
+//! accounting must balance, regardless of ordering, sizes, or group shape.
+
+use proptest::prelude::*;
+use tsgemm_net::{CostModel, World};
+
+#[derive(Clone, Debug)]
+enum Op {
+    AllToAll { base: usize },
+    AllGather { len: usize },
+    Bcast { root_mod: usize, len: usize },
+    AllReduce { val: u64 },
+    Barrier,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0usize..16).prop_map(|base| Op::AllToAll { base }),
+        (0usize..32).prop_map(|len| Op::AllGather { len }),
+        (0usize..8, 0usize..32).prop_map(|(root_mod, len)| Op::Bcast { root_mod, len }),
+        (0u64..1000).prop_map(|val| Op::AllReduce { val }),
+        Just(Op::Barrier),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_collective_sequences_deliver_correct_data(
+        p in 1usize..9,
+        ops in proptest::collection::vec(op_strategy(), 1..12),
+    ) {
+        let ops2 = ops.clone();
+        let out = World::run(p, move |comm| {
+            let mut checksum = 0u64;
+            for (step, op) in ops2.iter().enumerate() {
+                match op {
+                    Op::AllToAll { base } => {
+                        // sends[dst] = [me*1000 + dst; base + me]
+                        let sends: Vec<Vec<u64>> = (0..p)
+                            .map(|dst| vec![(comm.rank() * 1000 + dst) as u64; base + comm.rank()])
+                            .collect();
+                        let recv = comm.alltoallv(sends, format!("fz{step}"));
+                        for (src, data) in recv.iter().enumerate() {
+                            assert_eq!(data.len(), base + src, "a2a length from {src}");
+                            for &v in data {
+                                assert_eq!(v, (src * 1000 + comm.rank()) as u64);
+                                checksum = checksum.wrapping_add(v);
+                            }
+                        }
+                    }
+                    Op::AllGather { len } => {
+                        let data = vec![comm.rank() as u64; *len];
+                        let all = comm.allgatherv(data, format!("fz{step}"));
+                        for (src, v) in all.iter().enumerate() {
+                            assert_eq!(v.len(), *len);
+                            assert!(v.iter().all(|&x| x == src as u64));
+                        }
+                        checksum = checksum.wrapping_add(*len as u64);
+                    }
+                    Op::Bcast { root_mod, len } => {
+                        let root = root_mod % p;
+                        let payload = if comm.rank() == root {
+                            vec![(root * 7) as u64; *len]
+                        } else {
+                            Vec::new()
+                        };
+                        let got = comm.bcast_vec(root, payload, format!("fz{step}"));
+                        assert_eq!(got.len(), *len);
+                        assert!(got.iter().all(|&x| x == (root * 7) as u64));
+                    }
+                    Op::AllReduce { val } => {
+                        let sum = comm.allreduce(*val + comm.rank() as u64, |a, b| a + b,
+                            format!("fz{step}"));
+                        let expect = p as u64 * *val + (p * (p - 1) / 2) as u64;
+                        assert_eq!(sum, expect);
+                        checksum = checksum.wrapping_add(sum);
+                    }
+                    Op::Barrier => comm.barrier(format!("fz{step}")),
+                }
+            }
+            checksum
+        });
+        // Conservation across the whole random sequence.
+        let sent: u64 = out.profiles.iter().map(|pr| pr.total_bytes_sent()).sum();
+        let received: u64 = out
+            .profiles
+            .iter()
+            .flat_map(|pr| pr.segments.iter())
+            .filter_map(|s| s.coll.as_ref())
+            .map(|c| c.bytes_received)
+            .sum();
+        prop_assert_eq!(sent, received);
+        // The model must produce a finite, non-negative time for any run.
+        let t = CostModel::default().model_run(&out.profiles);
+        prop_assert!(t.comm_secs.is_finite() && t.comm_secs >= 0.0);
+        prop_assert!(t.compute_secs.is_finite() && t.compute_secs >= 0.0);
+    }
+
+    #[test]
+    fn grid_split_sums_partition_the_world(
+        rows in 1usize..5,
+        cols in 1usize..5,
+    ) {
+        let p = rows * cols;
+        let out = World::run(p, move |comm| {
+            let r = comm.rank() / cols;
+            let c = comm.rank() % cols;
+            let mut row_comm = comm.split(r, c);
+            let mut col_comm = comm.split(rows + c, r);
+            let row_sum = row_comm.allreduce(comm.rank() as u64, |a, b| a + b, "rs");
+            let col_sum = col_comm.allreduce(comm.rank() as u64, |a, b| a + b, "cs");
+            (row_sum, col_sum)
+        });
+        // Each row's sum counted once per member; total = p * avg ... check
+        // directly against a recomputation.
+        for rank in 0..p {
+            let r = rank / cols;
+            let c = rank % cols;
+            let row_expect: u64 = (0..cols).map(|cc| (r * cols + cc) as u64).sum();
+            let col_expect: u64 = (0..rows).map(|rr| (rr * cols + c) as u64).sum();
+            assert_eq!(out.results[rank], (row_expect, col_expect));
+        }
+    }
+}
+
+#[test]
+#[should_panic(expected = "collective mismatch")]
+fn mismatched_collectives_fail_loudly_not_silently() {
+    // Rank 0 does a bcast while rank 1 does an alltoallv: the runtime must
+    // detect the protocol violation instead of deadlocking or mixing data.
+    let _ = World::run(2, |comm| {
+        if comm.rank() == 0 {
+            let _ = comm.bcast(0, Some(1u64), "x");
+        } else {
+            let _ = comm.alltoallv(vec![vec![1u64], vec![]], "y");
+        }
+    });
+}

@@ -1,0 +1,402 @@
+//! Row accumulators for Gustavson-style SpGEMM and merging (§III-C).
+//!
+//! The paper selects between two accumulators:
+//!
+//! * [`Spa`] — the classic *sparse accumulator*: a dense value array of the
+//!   output-row width plus a stamp array and a touched-index list. For
+//!   tall-and-skinny outputs (`d ≤ 1024`) the dense array fits in L1/L2 and
+//!   SPA wins.
+//! * [`HashAccum`] — open-addressing hash accumulator, preferred for wide
+//!   rows (`d > 1024`) where a dense SPA would spill out of cache.
+//!
+//! Both implement [`Accumulator`], so kernels can pick per-multiply. Stamps
+//! (generation counters) make [`Spa::reset`] O(touched), not O(width), which
+//! matters when thousands of short rows reuse one accumulator.
+
+use crate::semiring::Semiring;
+use crate::Idx;
+
+/// A reusable accumulator for one output row at a time.
+pub trait Accumulator<S: Semiring> {
+    /// ⊕-accumulates `val` into position `idx`.
+    fn accumulate(&mut self, idx: Idx, val: S::T);
+
+    /// Number of distinct positions touched since the last drain/reset.
+    fn touched(&self) -> usize;
+
+    /// Appends the accumulated `(index, value)` pairs in increasing index
+    /// order to the output vectors, dropping semiring zeros, and resets the
+    /// accumulator for the next row.
+    fn drain_sorted(&mut self, idx_out: &mut Vec<Idx>, val_out: &mut Vec<S::T>);
+
+    /// Discards accumulated state without emitting it.
+    fn reset(&mut self);
+}
+
+/// Dense sparse accumulator (SPA) of a fixed width.
+pub struct Spa<S: Semiring> {
+    vals: Vec<S::T>,
+    stamps: Vec<u32>,
+    generation: u32,
+    touched: Vec<Idx>,
+}
+
+impl<S: Semiring> Spa<S> {
+    /// An accumulator for rows of `width` columns.
+    pub fn new(width: usize) -> Self {
+        Self {
+            vals: vec![S::zero(); width],
+            stamps: vec![0; width],
+            generation: 1,
+            touched: Vec::new(),
+        }
+    }
+
+    pub fn width(&self) -> usize {
+        self.vals.len()
+    }
+
+    fn bump_generation(&mut self) {
+        if self.generation == u32::MAX {
+            self.stamps.fill(0);
+            self.generation = 1;
+        } else {
+            self.generation += 1;
+        }
+    }
+}
+
+impl<S: Semiring> Accumulator<S> for Spa<S> {
+    #[inline]
+    fn accumulate(&mut self, idx: Idx, val: S::T) {
+        let i = idx as usize;
+        debug_assert!(i < self.vals.len(), "SPA index {i} out of width");
+        if self.stamps[i] == self.generation {
+            self.vals[i] = S::add(self.vals[i], val);
+        } else {
+            self.stamps[i] = self.generation;
+            self.vals[i] = val;
+            self.touched.push(idx);
+        }
+    }
+
+    fn touched(&self) -> usize {
+        self.touched.len()
+    }
+
+    fn drain_sorted(&mut self, idx_out: &mut Vec<Idx>, val_out: &mut Vec<S::T>) {
+        // For nearly-full rows a linear scan of the dense array is cheaper
+        // than sorting the touched list; cross over at ~width/8 touched.
+        if self.touched.len() * 8 >= self.vals.len() {
+            for i in 0..self.vals.len() {
+                if self.stamps[i] == self.generation && !S::is_zero(&self.vals[i]) {
+                    idx_out.push(i as Idx);
+                    val_out.push(self.vals[i]);
+                }
+            }
+        } else {
+            self.touched.sort_unstable();
+            for &idx in &self.touched {
+                let v = self.vals[idx as usize];
+                if !S::is_zero(&v) {
+                    idx_out.push(idx);
+                    val_out.push(v);
+                }
+            }
+        }
+        self.touched.clear();
+        self.bump_generation();
+    }
+
+    fn reset(&mut self) {
+        self.touched.clear();
+        self.bump_generation();
+    }
+}
+
+const EMPTY_KEY: Idx = Idx::MAX;
+
+/// Open-addressing (linear probing) hash accumulator.
+pub struct HashAccum<S: Semiring> {
+    keys: Vec<Idx>,
+    vals: Vec<S::T>,
+    mask: usize,
+    len: usize,
+}
+
+impl<S: Semiring> HashAccum<S> {
+    /// An accumulator expecting roughly `expected` distinct indices per row.
+    pub fn with_capacity(expected: usize) -> Self {
+        let cap = (expected.max(8) * 2).next_power_of_two();
+        Self {
+            keys: vec![EMPTY_KEY; cap],
+            vals: vec![S::zero(); cap],
+            mask: cap - 1,
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn slot(&self, key: Idx) -> usize {
+        // Fibonacci hashing: good spread for sequential column ids.
+        ((key as u64).wrapping_mul(0x9E3779B97F4A7C15) >> 32) as usize & self.mask
+    }
+
+    fn grow(&mut self) {
+        let old_keys = std::mem::replace(&mut self.keys, vec![EMPTY_KEY; (self.mask + 1) * 2]);
+        let old_vals = std::mem::replace(&mut self.vals, vec![S::zero(); (self.mask + 1) * 2]);
+        self.mask = self.keys.len() - 1;
+        self.len = 0;
+        for (k, v) in old_keys.into_iter().zip(old_vals) {
+            if k != EMPTY_KEY {
+                self.insert_fresh(k, v);
+            }
+        }
+    }
+
+    fn insert_fresh(&mut self, key: Idx, val: S::T) {
+        let mut i = self.slot(key);
+        loop {
+            if self.keys[i] == EMPTY_KEY {
+                self.keys[i] = key;
+                self.vals[i] = val;
+                self.len += 1;
+                return;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+}
+
+impl<S: Semiring> Accumulator<S> for HashAccum<S> {
+    fn accumulate(&mut self, idx: Idx, val: S::T) {
+        debug_assert_ne!(idx, EMPTY_KEY, "Idx::MAX is reserved");
+        if (self.len + 1) * 4 > (self.mask + 1) * 3 {
+            self.grow();
+        }
+        let mut i = self.slot(idx);
+        loop {
+            if self.keys[i] == idx {
+                self.vals[i] = S::add(self.vals[i], val);
+                return;
+            }
+            if self.keys[i] == EMPTY_KEY {
+                self.keys[i] = idx;
+                self.vals[i] = val;
+                self.len += 1;
+                return;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    fn touched(&self) -> usize {
+        self.len
+    }
+
+    fn drain_sorted(&mut self, idx_out: &mut Vec<Idx>, val_out: &mut Vec<S::T>) {
+        let mut pairs: Vec<(Idx, S::T)> = Vec::with_capacity(self.len);
+        for i in 0..self.keys.len() {
+            if self.keys[i] != EMPTY_KEY {
+                if !S::is_zero(&self.vals[i]) {
+                    pairs.push((self.keys[i], self.vals[i]));
+                }
+                self.keys[i] = EMPTY_KEY;
+            }
+        }
+        self.len = 0;
+        pairs.sort_unstable_by_key(|&(k, _)| k);
+        for (k, v) in pairs {
+            idx_out.push(k);
+            val_out.push(v);
+        }
+    }
+
+    fn reset(&mut self) {
+        self.keys.fill(EMPTY_KEY);
+        self.len = 0;
+    }
+}
+
+/// Pattern-only SPA for symbolic SpGEMM: counts distinct indices without
+/// storing values. Used by the tile-mode selection step (§III-D), which only
+/// needs `nnz(C_partial)` counts.
+pub struct PatternSpa {
+    stamps: Vec<u32>,
+    generation: u32,
+    count: usize,
+}
+
+impl PatternSpa {
+    pub fn new(width: usize) -> Self {
+        Self {
+            stamps: vec![0; width],
+            generation: 1,
+            count: 0,
+        }
+    }
+
+    /// Marks `idx`; returns true when it was new for this row.
+    #[inline]
+    pub fn mark(&mut self, idx: Idx) -> bool {
+        let i = idx as usize;
+        if self.stamps[i] == self.generation {
+            false
+        } else {
+            self.stamps[i] = self.generation;
+            self.count += 1;
+            true
+        }
+    }
+
+    /// Distinct indices marked since the last reset.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Clears for the next row in O(1).
+    pub fn reset(&mut self) -> usize {
+        let c = self.count;
+        self.count = 0;
+        if self.generation == u32::MAX {
+            self.stamps.fill(0);
+            self.generation = 1;
+        } else {
+            self.generation += 1;
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semiring::{BoolAndOr, PlusTimesF64};
+
+    fn drain<S: Semiring, A: Accumulator<S>>(acc: &mut A) -> (Vec<Idx>, Vec<S::T>) {
+        let (mut i, mut v) = (Vec::new(), Vec::new());
+        acc.drain_sorted(&mut i, &mut v);
+        (i, v)
+    }
+
+    #[test]
+    fn spa_accumulates_and_sorts() {
+        let mut spa = Spa::<PlusTimesF64>::new(16);
+        spa.accumulate(7, 1.0);
+        spa.accumulate(3, 2.0);
+        spa.accumulate(7, 4.0);
+        assert_eq!(spa.touched(), 2);
+        let (idx, val) = drain(&mut spa);
+        assert_eq!(idx, vec![3, 7]);
+        assert_eq!(val, vec![2.0, 5.0]);
+    }
+
+    #[test]
+    fn spa_reusable_across_rows() {
+        let mut spa = Spa::<PlusTimesF64>::new(8);
+        spa.accumulate(1, 1.0);
+        let _ = drain(&mut spa);
+        spa.accumulate(2, 3.0);
+        let (idx, val) = drain(&mut spa);
+        assert_eq!(idx, vec![2]);
+        assert_eq!(val, vec![3.0]);
+    }
+
+    #[test]
+    fn spa_drops_cancelled_entries() {
+        let mut spa = Spa::<PlusTimesF64>::new(4);
+        spa.accumulate(0, 2.0);
+        spa.accumulate(0, -2.0);
+        spa.accumulate(1, 1.0);
+        let (idx, _) = drain(&mut spa);
+        assert_eq!(idx, vec![1]);
+    }
+
+    #[test]
+    fn spa_dense_row_linear_scan_path() {
+        // Touch nearly every slot to exercise the scan branch of drain.
+        let mut spa = Spa::<PlusTimesF64>::new(8);
+        for i in (0..8).rev() {
+            spa.accumulate(i, i as f64 + 1.0);
+        }
+        let (idx, val) = drain(&mut spa);
+        assert_eq!(idx, (0..8).collect::<Vec<_>>());
+        assert_eq!(val[0], 1.0);
+        assert_eq!(val[7], 8.0);
+    }
+
+    #[test]
+    fn spa_reset_discards() {
+        let mut spa = Spa::<BoolAndOr>::new(4);
+        spa.accumulate(2, true);
+        spa.reset();
+        let (idx, _) = drain(&mut spa);
+        assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn hash_accumulates_and_sorts() {
+        let mut h = HashAccum::<PlusTimesF64>::with_capacity(4);
+        h.accumulate(100, 1.0);
+        h.accumulate(5, 2.0);
+        h.accumulate(100, 1.5);
+        assert_eq!(h.touched(), 2);
+        let (idx, val) = drain(&mut h);
+        assert_eq!(idx, vec![5, 100]);
+        assert_eq!(val, vec![2.0, 2.5]);
+    }
+
+    #[test]
+    fn hash_grows_under_load() {
+        let mut h = HashAccum::<PlusTimesF64>::with_capacity(2);
+        for i in 0..1000 {
+            h.accumulate(i * 3, 1.0);
+        }
+        assert_eq!(h.touched(), 1000);
+        let (idx, _) = drain(&mut h);
+        assert_eq!(idx.len(), 1000);
+        assert!(idx.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn hash_reusable_after_drain() {
+        let mut h = HashAccum::<PlusTimesF64>::with_capacity(8);
+        h.accumulate(1, 1.0);
+        let _ = drain(&mut h);
+        h.accumulate(2, 5.0);
+        let (idx, val) = drain(&mut h);
+        assert_eq!(idx, vec![2]);
+        assert_eq!(val, vec![5.0]);
+    }
+
+    #[test]
+    fn spa_and_hash_agree_on_random_stream() {
+        let stream: Vec<(Idx, f64)> = (0..500)
+            .map(|i| (((i * 37) % 256) as Idx, (i % 11) as f64 - 5.0))
+            .collect();
+        let mut spa = Spa::<PlusTimesF64>::new(256);
+        let mut h = HashAccum::<PlusTimesF64>::with_capacity(16);
+        for &(i, v) in &stream {
+            spa.accumulate(i, v);
+            h.accumulate(i, v);
+        }
+        let (si, sv) = drain(&mut spa);
+        let (hi, hv) = drain(&mut h);
+        assert_eq!(si, hi);
+        for (a, b) in sv.iter().zip(&hv) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pattern_spa_counts_distinct() {
+        let mut p = PatternSpa::new(10);
+        assert!(p.mark(3));
+        assert!(!p.mark(3));
+        assert!(p.mark(7));
+        assert_eq!(p.count(), 2);
+        assert_eq!(p.reset(), 2);
+        assert_eq!(p.count(), 0);
+        assert!(p.mark(3)); // fresh after reset
+    }
+}

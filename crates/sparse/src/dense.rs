@@ -1,0 +1,175 @@
+//! Row-major dense matrices, used by the SpMM contender (§V-C).
+//!
+//! When the tall-and-skinny operand is below ~50% sparsity the paper
+//! recommends switching to SpMM with a dense `B`; this is the dense side of
+//! that comparison.
+
+use crate::semiring::Semiring;
+use crate::{Csr, Idx};
+
+/// A dense `nrows × ncols` matrix stored row-major.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DenseMat<T> {
+    nrows: usize,
+    ncols: usize,
+    data: Vec<T>,
+}
+
+impl<T: Copy> DenseMat<T> {
+    /// A matrix filled with `fill`.
+    pub fn filled(nrows: usize, ncols: usize, fill: T) -> Self {
+        Self {
+            nrows,
+            ncols,
+            data: vec![fill; nrows * ncols],
+        }
+    }
+
+    /// Builds from a row-major data vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != nrows * ncols`.
+    pub fn from_vec(nrows: usize, ncols: usize, data: Vec<T>) -> Self {
+        assert_eq!(data.len(), nrows * ncols, "dense data length mismatch");
+        Self {
+            nrows,
+            ncols,
+            data,
+        }
+    }
+
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    pub fn data(&self) -> &[T] {
+        &self.data
+    }
+
+    #[inline]
+    pub fn row(&self, r: usize) -> &[T] {
+        &self.data[r * self.ncols..(r + 1) * self.ncols]
+    }
+
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [T] {
+        &mut self.data[r * self.ncols..(r + 1) * self.ncols]
+    }
+
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> T {
+        self.data[r * self.ncols + c]
+    }
+
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: T) {
+        self.data[r * self.ncols + c] = v;
+    }
+
+    /// Gathers the given rows (in order) into a new dense matrix.
+    pub fn select_rows(&self, rows: &[Idx]) -> DenseMat<T> {
+        let mut data = Vec::with_capacity(rows.len() * self.ncols);
+        for &r in rows {
+            data.extend_from_slice(self.row(r as usize));
+        }
+        DenseMat {
+            nrows: rows.len(),
+            ncols: self.ncols,
+            data,
+        }
+    }
+
+    /// Converts a sparse matrix to dense under semiring `S` (missing entries
+    /// become `S::zero()`).
+    pub fn from_csr<S: Semiring<T = T>>(m: &Csr<T>) -> Self {
+        let mut out = Self::filled(m.nrows(), m.ncols(), S::zero());
+        for (r, cols, vals) in m.iter_rows() {
+            for (&c, &v) in cols.iter().zip(vals) {
+                out.set(r, c as usize, v);
+            }
+        }
+        out
+    }
+
+    /// Converts to CSR under semiring `S`, dropping semiring zeros.
+    pub fn to_csr<S: Semiring<T = T>>(&self) -> Csr<T> {
+        let mut indptr = Vec::with_capacity(self.nrows + 1);
+        indptr.push(0);
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        for r in 0..self.nrows {
+            for (c, v) in self.row(r).iter().enumerate() {
+                if !S::is_zero(v) {
+                    indices.push(c as Idx);
+                    values.push(*v);
+                }
+            }
+            indptr.push(indices.len());
+        }
+        Csr::from_parts(self.nrows, self.ncols, indptr, indices, values)
+    }
+}
+
+impl DenseMat<f64> {
+    /// Fraction of entries equal to exactly 0.0 — the "sparsity of B" the
+    /// paper's experiments sweep.
+    pub fn zero_fraction(&self) -> f64 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        let zeros = self.data.iter().filter(|&&v| v == 0.0).count();
+        zeros as f64 / self.data.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semiring::PlusTimesF64;
+    use crate::Coo;
+
+    #[test]
+    fn fill_get_set() {
+        let mut m = DenseMat::filled(2, 3, 0.0);
+        m.set(1, 2, 5.0);
+        assert_eq!(m.get(1, 2), 5.0);
+        assert_eq!(m.row(0), &[0.0, 0.0, 0.0]);
+        assert_eq!(m.row(1), &[0.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    fn csr_roundtrip() {
+        let mut coo = Coo::new(3, 2);
+        coo.push(0, 1, 2.0);
+        coo.push(2, 0, -1.0);
+        let csr = coo.to_csr::<PlusTimesF64>();
+        let dense = DenseMat::from_csr::<PlusTimesF64>(&csr);
+        assert_eq!(dense.get(0, 1), 2.0);
+        assert_eq!(dense.get(1, 0), 0.0);
+        assert_eq!(dense.to_csr::<PlusTimesF64>(), csr);
+    }
+
+    #[test]
+    fn select_rows_gathers() {
+        let m = DenseMat::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let s = m.select_rows(&[2, 0]);
+        assert_eq!(s.row(0), &[5.0, 6.0]);
+        assert_eq!(s.row(1), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn zero_fraction_counts() {
+        let m = DenseMat::from_vec(1, 4, vec![0.0, 1.0, 0.0, 2.0]);
+        assert_eq!(m.zero_fraction(), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn from_vec_rejects_bad_len() {
+        let _ = DenseMat::from_vec(2, 2, vec![1.0]);
+    }
+}

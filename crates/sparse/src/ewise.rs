@@ -1,0 +1,179 @@
+//! Element-wise structural operations.
+//!
+//! Multi-source BFS (Alg. 3) needs two set-like updates per iteration:
+//! `F ← N \ S` (drop already-visited vertices from the discovered frontier)
+//! and `S ← S ∨ N` (extend the visited set). Both operate on the *patterns*
+//! of same-shaped tall-and-skinny matrices.
+
+use crate::semiring::Semiring;
+use crate::{Csr, Idx};
+
+/// Structural difference: entries of `a` whose coordinate is **not** stored
+/// in `b` (values of `b` are ignored). Alg. 3 line 7.
+pub fn andnot<T: Copy, U: Copy>(a: &Csr<T>, b: &Csr<U>) -> Csr<T> {
+    assert_eq!((a.nrows(), a.ncols()), (b.nrows(), b.ncols()), "shape mismatch");
+    let mut indptr = Vec::with_capacity(a.nrows() + 1);
+    indptr.push(0);
+    let mut indices = Vec::new();
+    let mut values = Vec::new();
+    for r in 0..a.nrows() {
+        let (ac, av) = a.row(r);
+        let (bc, _) = b.row(r);
+        let mut j = 0usize;
+        for (&c, &v) in ac.iter().zip(av) {
+            while j < bc.len() && bc[j] < c {
+                j += 1;
+            }
+            if j >= bc.len() || bc[j] != c {
+                indices.push(c);
+                values.push(v);
+            }
+        }
+        indptr.push(indices.len());
+    }
+    Csr::from_parts(a.nrows(), a.ncols(), indptr, indices, values)
+}
+
+/// Structural union combining overlapping entries with `S::add`.
+/// Alg. 3 line 8 (`S ← S ∨ N`).
+pub fn union<S: Semiring>(a: &Csr<S::T>, b: &Csr<S::T>) -> Csr<S::T> {
+    assert_eq!((a.nrows(), a.ncols()), (b.nrows(), b.ncols()), "shape mismatch");
+    let mut indptr = Vec::with_capacity(a.nrows() + 1);
+    indptr.push(0);
+    let mut indices: Vec<Idx> = Vec::with_capacity(a.nnz() + b.nnz());
+    let mut values = Vec::with_capacity(a.nnz() + b.nnz());
+    for r in 0..a.nrows() {
+        let (ac, av) = a.row(r);
+        let (bc, bv) = b.row(r);
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < ac.len() || j < bc.len() {
+            let take_a = j >= bc.len() || (i < ac.len() && ac[i] < bc[j]);
+            let take_b = i >= ac.len() || (j < bc.len() && bc[j] < ac[i]);
+            if take_a {
+                indices.push(ac[i]);
+                values.push(av[i]);
+                i += 1;
+            } else if take_b {
+                indices.push(bc[j]);
+                values.push(bv[j]);
+                j += 1;
+            } else {
+                let v = S::add(av[i], bv[j]);
+                if !S::is_zero(&v) {
+                    indices.push(ac[i]);
+                    values.push(v);
+                }
+                i += 1;
+                j += 1;
+            }
+        }
+        indptr.push(indices.len());
+    }
+    Csr::from_parts(a.nrows(), a.ncols(), indptr, indices, values)
+}
+
+/// Structural intersection combining matched entries with `S::mul`
+/// (element-wise masked product).
+pub fn intersect<S: Semiring>(a: &Csr<S::T>, b: &Csr<S::T>) -> Csr<S::T> {
+    assert_eq!((a.nrows(), a.ncols()), (b.nrows(), b.ncols()), "shape mismatch");
+    let mut indptr = Vec::with_capacity(a.nrows() + 1);
+    indptr.push(0);
+    let mut indices = Vec::new();
+    let mut values = Vec::new();
+    for r in 0..a.nrows() {
+        let (ac, av) = a.row(r);
+        let (bc, bv) = b.row(r);
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < ac.len() && j < bc.len() {
+            if ac[i] < bc[j] {
+                i += 1;
+            } else if bc[j] < ac[i] {
+                j += 1;
+            } else {
+                let v = S::mul(av[i], bv[j]);
+                if !S::is_zero(&v) {
+                    indices.push(ac[i]);
+                    values.push(v);
+                }
+                i += 1;
+                j += 1;
+            }
+        }
+        indptr.push(indices.len());
+    }
+    Csr::from_parts(a.nrows(), a.ncols(), indptr, indices, values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semiring::{BoolAndOr, PlusTimesF64};
+    use crate::Coo;
+
+    fn bools(entries: &[(Idx, Idx)]) -> Csr<bool> {
+        Coo::from_entries(3, 3, entries.iter().map(|&(r, c)| (r, c, true)).collect())
+            .to_csr::<BoolAndOr>()
+    }
+
+    #[test]
+    fn andnot_removes_visited() {
+        let n = bools(&[(0, 0), (0, 1), (1, 2)]);
+        let s = bools(&[(0, 1), (2, 2)]);
+        let f = andnot(&n, &s);
+        assert_eq!(f.nnz(), 2);
+        assert_eq!(f.get(0, 0), Some(true));
+        assert_eq!(f.get(1, 2), Some(true));
+        assert_eq!(f.get(0, 1), None);
+    }
+
+    #[test]
+    fn andnot_with_empty_mask_is_identity() {
+        let n = bools(&[(0, 0), (2, 1)]);
+        let s = Csr::<bool>::new_empty(3, 3);
+        assert_eq!(andnot(&n, &s), n);
+    }
+
+    #[test]
+    fn union_bool_accumulates_visited() {
+        let s = bools(&[(0, 0)]);
+        let n = bools(&[(0, 0), (1, 1)]);
+        let u = union::<BoolAndOr>(&s, &n);
+        assert_eq!(u.nnz(), 2);
+    }
+
+    #[test]
+    fn union_numeric_adds_overlaps() {
+        let a = Coo::from_entries(3, 3, vec![(0, 0, 1.0), (1, 1, 2.0)]).to_csr::<PlusTimesF64>();
+        let b = Coo::from_entries(3, 3, vec![(1, 1, 3.0), (2, 2, 4.0)]).to_csr::<PlusTimesF64>();
+        let u = union::<PlusTimesF64>(&a, &b);
+        assert_eq!(u.get(1, 1), Some(5.0));
+        assert_eq!(u.nnz(), 3);
+    }
+
+    #[test]
+    fn union_drops_cancelled() {
+        let a = Coo::from_entries(1, 2, vec![(0, 0, 1.0)]).to_csr::<PlusTimesF64>();
+        let b = Coo::from_entries(1, 2, vec![(0, 0, -1.0)]).to_csr::<PlusTimesF64>();
+        assert_eq!(union::<PlusTimesF64>(&a, &b).nnz(), 0);
+    }
+
+    #[test]
+    fn intersect_masks() {
+        let a = Coo::from_entries(2, 2, vec![(0, 0, 2.0), (0, 1, 3.0)]).to_csr::<PlusTimesF64>();
+        let b = Coo::from_entries(2, 2, vec![(0, 1, 4.0), (1, 1, 5.0)]).to_csr::<PlusTimesF64>();
+        let m = intersect::<PlusTimesF64>(&a, &b);
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.get(0, 1), Some(12.0));
+    }
+
+    #[test]
+    fn set_identity_laws() {
+        // (N \ S) ∪ (N ∩ S-pattern) == N for boolean matrices.
+        let n = bools(&[(0, 0), (0, 2), (1, 1), (2, 0)]);
+        let s = bools(&[(0, 2), (2, 0), (2, 2)]);
+        let diff = andnot(&n, &s);
+        let both = intersect::<BoolAndOr>(&n, &s);
+        let back = union::<BoolAndOr>(&diff, &both);
+        assert_eq!(back, n);
+    }
+}

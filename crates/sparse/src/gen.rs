@@ -1,0 +1,403 @@
+//! Synthetic workload generators (Table V substitutes).
+//!
+//! The paper evaluates on SuiteSparse web crawls (arabic-2005, it-2004,
+//! GAP-web, uk-2002), an Erdős–Rényi matrix, and four small ML graphs
+//! (cora, citeseer, pubmed, flicker). Those datasets are not redistributable
+//! here, so DESIGN.md §2 substitutes: R-MAT for the scale-free web crawls,
+//! the ER generator for ER, and stochastic-block-model graphs for the ML
+//! graphs (link prediction needs community structure). All generators are
+//! deterministic given a seed.
+
+use crate::{Coo, Idx};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Classic R-MAT partition probabilities for skewed web-like graphs.
+pub const RMAT_WEB: (f64, f64, f64, f64) = (0.57, 0.19, 0.19, 0.05);
+
+fn dedup_edges(mut edges: Vec<(Idx, Idx)>) -> Vec<(Idx, Idx)> {
+    edges.sort_unstable();
+    edges.dedup();
+    edges
+}
+
+fn with_values(n: usize, edges: Vec<(Idx, Idx)>, rng: &mut StdRng) -> Coo<f64> {
+    let entries = edges
+        .into_iter()
+        .map(|(r, c)| (r, c, 0.5 + rng.random::<f64>()))
+        .collect();
+    Coo::from_entries(n, n, entries)
+}
+
+/// Erdős–Rényi digraph: ~`n·avg_deg` distinct directed edges, uniform
+/// endpoints, uniform positive values. Self-loops allowed (they are legal in
+/// SpGEMM and exercise the diagonal-tile path).
+pub fn erdos_renyi(n: usize, avg_deg: f64, seed: u64) -> Coo<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let m = (n as f64 * avg_deg).round() as usize;
+    let mut edges = Vec::with_capacity(m);
+    for _ in 0..m {
+        edges.push((
+            rng.random_range(0..n) as Idx,
+            rng.random_range(0..n) as Idx,
+        ));
+    }
+    let edges = dedup_edges(edges);
+    with_values(n, edges, &mut rng)
+}
+
+/// R-MAT scale-free digraph of `n = 2^scale` vertices and ~`n·avg_deg`
+/// distinct edges; `abcd` are the quadrant probabilities.
+pub fn rmat(scale: u32, avg_deg: f64, abcd: (f64, f64, f64, f64), seed: u64) -> Coo<f64> {
+    let n = 1usize << scale;
+    let m = (n as f64 * avg_deg).round() as usize;
+    let (a, b, c, _d) = abcd;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(m);
+    for _ in 0..m {
+        let (mut r, mut ccol) = (0usize, 0usize);
+        for level in (0..scale).rev() {
+            let bit = 1usize << level;
+            let x: f64 = rng.random();
+            if x < a {
+                // top-left: nothing set
+            } else if x < a + b {
+                ccol |= bit;
+            } else if x < a + b + c {
+                r |= bit;
+            } else {
+                r |= bit;
+                ccol |= bit;
+            }
+        }
+        edges.push((r as Idx, ccol as Idx));
+    }
+    let edges = dedup_edges(edges);
+    with_values(n, edges, &mut rng)
+}
+
+/// Web-crawl-like digraph: `n = 2^scale` vertices in crawl order.
+///
+/// Real web matrices (uk-2002, arabic-2005, it-2004, GAP-web) are far from
+/// uniformly random: pages of one host are contiguous in crawl order and
+/// most hyperlinks stay within the host, so the matrix has strong banded
+/// locality; on top sit skewed global links to popular pages and a tail of
+/// very dense hub rows. This generator reproduces those three features:
+/// `p_local` of the edges land within the source's host block (geometric
+/// host sizes around `host_size`), the rest target a Zipf-skewed global
+/// page, and 0.2% of the rows are hubs with ~100× the average out-degree.
+pub fn web_like(scale: u32, avg_deg: f64, seed: u64) -> Coo<f64> {
+    let n = 1usize << scale;
+    let m = (n as f64 * avg_deg).round() as usize;
+    let host_size = 256usize.min(n.max(1));
+    let p_local = 0.85;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(m);
+
+    // A small set of hub rows with very high out-degree (dense rows are
+    // what makes tiling/remote mode matter, §III-A).
+    let n_hubs = (n / 512).max(1);
+    let hub_edges = m / 20;
+    for _ in 0..hub_edges {
+        let h = rng.random_range(0..n_hubs);
+        let r = (h * 512 + h % 512).min(n - 1);
+        // Hubs (directories, sitemaps) link broadly across the crawl.
+        let c = rng.random_range(0..n);
+        edges.push((r as Idx, c as Idx));
+    }
+
+    for _ in 0..m - hub_edges {
+        let r = rng.random_range(0..n);
+        let c = if rng.random::<f64>() < p_local {
+            // Intra-host link: stay in the source's host block.
+            let host = r / host_size;
+            (host * host_size + rng.random_range(0..host_size)).min(n - 1)
+        } else {
+            zipf_like(n, &mut rng)
+        };
+        edges.push((r as Idx, c as Idx));
+    }
+    let edges = dedup_edges(edges);
+    with_values(n, edges, &mut rng)
+}
+
+/// Approximately Zipf-distributed page id: a small set of pages receives
+/// most global links (inverse-power sampling, exponent ~1.2), scattered
+/// across the id space with a Fibonacci-hash permutation so popular pages
+/// live on different hosts/ranks, as they do in real crawls.
+fn zipf_like(n: usize, rng: &mut StdRng) -> usize {
+    let u: f64 = rng.random::<f64>().max(1e-12);
+    let x = u.powf(-1.0 / 1.2) - 1.0; // Pareto tail starting at 0
+    let rank = ((x * 64.0) as usize).min(n - 1);
+    (rank.wrapping_mul(0x9E3779B97F4A7C15) >> 16) % n
+}
+
+/// Symmetrises a digraph: emits each edge in both directions (values copied).
+pub fn symmetrize(coo: &Coo<f64>) -> Coo<f64> {
+    let mut edges: Vec<(Idx, Idx, f64)> = Vec::with_capacity(coo.nnz() * 2);
+    for &(r, c, v) in coo.entries() {
+        edges.push((r, c, v));
+        if r != c {
+            edges.push((c, r, v));
+        }
+    }
+    edges.sort_unstable_by_key(|&(r, c, _)| (r, c));
+    edges.dedup_by_key(|e| (e.0, e.1));
+    Coo::from_entries(coo.nrows(), coo.ncols(), edges)
+}
+
+/// Stochastic block model with `k` equal communities and one label per
+/// vertex; expected within-community degree `deg_in` and cross-community
+/// degree `deg_out`. Returns the (symmetric) graph and the labels.
+pub fn sbm(n: usize, k: usize, deg_in: f64, deg_out: f64, seed: u64) -> (Coo<f64>, Vec<u32>) {
+    assert!(k >= 1 && n >= k);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let labels: Vec<u32> = (0..n).map(|v| (v % k) as u32).collect();
+    let m_in = (n as f64 * deg_in / 2.0).round() as usize;
+    let m_out = (n as f64 * deg_out / 2.0).round() as usize;
+    let per_comm = n / k;
+    let mut edges = Vec::with_capacity(2 * (m_in + m_out));
+    for _ in 0..m_in {
+        let comm = rng.random_range(0..k);
+        let u = comm + k * rng.random_range(0..per_comm);
+        let v = comm + k * rng.random_range(0..per_comm);
+        if u != v {
+            edges.push((u as Idx, v as Idx));
+            edges.push((v as Idx, u as Idx));
+        }
+    }
+    for _ in 0..m_out {
+        let u = rng.random_range(0..n);
+        let v = rng.random_range(0..n);
+        if u != v && labels[u] != labels[v] {
+            edges.push((u as Idx, v as Idx));
+            edges.push((v as Idx, u as Idx));
+        }
+    }
+    let edges = dedup_edges(edges);
+    (with_values(n, edges, &mut rng), labels)
+}
+
+/// Uniformly random tall-and-skinny `n × d` matrix where each row holds
+/// `round(d·(1-sparsity))` (at least 0) nonzeros at distinct random columns —
+/// the "B with s% sparsity" workload of §V-A. Values are uniform in (0.5, 1.5].
+pub fn random_tall(n: usize, d: usize, sparsity: f64, seed: u64) -> Coo<f64> {
+    assert!((0.0..=1.0).contains(&sparsity), "sparsity must be in [0,1]");
+    let per_row = ((d as f64) * (1.0 - sparsity)).round() as usize;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut entries = Vec::with_capacity(n * per_row);
+    let mut cols: Vec<Idx> = Vec::with_capacity(per_row);
+    for r in 0..n {
+        cols.clear();
+        while cols.len() < per_row.min(d) {
+            let c = rng.random_range(0..d) as Idx;
+            if !cols.contains(&c) {
+                cols.push(c);
+            }
+        }
+        cols.sort_unstable();
+        for &c in &cols {
+            entries.push((r as Idx, c, 0.5 + rng.random::<f64>()));
+        }
+    }
+    Coo::from_entries(n, d, entries)
+}
+
+/// 5-point finite-difference Laplacian on an `rows × cols` grid — the kind
+/// of matrix Algebraic Multigrid setups coarsen (the paper's AMG use case,
+/// §I). Row `i·cols + j` couples to its four grid neighbours with −1 and
+/// itself with the neighbour count.
+pub fn grid2d_laplacian(rows: usize, cols: usize) -> Coo<f64> {
+    let n = rows * cols;
+    let mut coo = Coo::new(n, n);
+    let id = |r: usize, c: usize| (r * cols + c) as Idx;
+    for r in 0..rows {
+        for c in 0..cols {
+            let mut deg = 0.0;
+            let push_nb = |coo: &mut Coo<f64>, rr: usize, cc: usize| {
+                coo.push(id(r, c), id(rr, cc), -1.0);
+            };
+            if r > 0 {
+                push_nb(&mut coo, r - 1, c);
+                deg += 1.0;
+            }
+            if r + 1 < rows {
+                push_nb(&mut coo, r + 1, c);
+                deg += 1.0;
+            }
+            if c > 0 {
+                push_nb(&mut coo, r, c - 1);
+                deg += 1.0;
+            }
+            if c + 1 < cols {
+                push_nb(&mut coo, r, c + 1);
+                deg += 1.0;
+            }
+            coo.push(id(r, c), id(r, c), deg);
+        }
+    }
+    coo
+}
+
+/// Initial multi-source BFS frontier: an `n × d` boolean matrix with exactly
+/// one nonzero per column at a distinct random row (the `d` source vertices,
+/// §V-F). Returns the matrix and the chosen sources.
+pub fn init_frontier(n: usize, d: usize, seed: u64) -> (Coo<bool>, Vec<Idx>) {
+    assert!(d <= n, "cannot pick {d} distinct sources from {n} vertices");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sources: Vec<Idx> = Vec::with_capacity(d);
+    while sources.len() < d {
+        let v = rng.random_range(0..n) as Idx;
+        if !sources.contains(&v) {
+            sources.push(v);
+        }
+    }
+    let entries = sources
+        .iter()
+        .enumerate()
+        .map(|(j, &v)| (v, j as Idx, true))
+        .collect();
+    (Coo::from_entries(n, d, entries), sources)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semiring::PlusTimesF64;
+    use crate::sparsify::sparsity;
+
+    #[test]
+    fn er_size_and_determinism() {
+        let a = erdos_renyi(1000, 8.0, 42);
+        let b = erdos_renyi(1000, 8.0, 42);
+        assert_eq!(a, b, "same seed must reproduce");
+        // Duplicates removed, so slightly below n*deg but close.
+        assert!(a.nnz() > 7000 && a.nnz() <= 8000, "nnz = {}", a.nnz());
+        let c = erdos_renyi(1000, 8.0, 43);
+        assert_ne!(a, c, "different seed should differ");
+    }
+
+    #[test]
+    fn rmat_is_skewed() {
+        let g = rmat(10, 16.0, RMAT_WEB, 7).to_csr::<PlusTimesF64>();
+        assert_eq!(g.nrows(), 1024);
+        let mut degs: Vec<usize> = (0..g.nrows()).map(|r| g.row_nnz(r)).collect();
+        degs.sort_unstable_by(|a, b| b.cmp(a));
+        let top1pct: usize = degs[..degs.len() / 100].iter().sum();
+        // Scale-free: top 1% of rows should hold far more than 1% of edges.
+        assert!(
+            top1pct as f64 > 0.05 * g.nnz() as f64,
+            "top 1% holds only {top1pct} of {}",
+            g.nnz()
+        );
+    }
+
+    #[test]
+    fn symmetrize_makes_symmetric() {
+        let g = symmetrize(&erdos_renyi(200, 4.0, 1));
+        let m = g.to_csr::<PlusTimesF64>();
+        let t = m.transpose();
+        assert_eq!(m.indices(), t.indices());
+        assert_eq!(m.indptr(), t.indptr());
+    }
+
+    #[test]
+    fn sbm_respects_labels() {
+        let (g, labels) = sbm(300, 3, 8.0, 1.0, 9);
+        assert_eq!(labels.len(), 300);
+        let m = g.to_csr::<PlusTimesF64>();
+        let mut within = 0usize;
+        let mut across = 0usize;
+        for (r, cols, _) in m.iter_rows() {
+            for &c in cols {
+                if labels[r] == labels[c as usize] {
+                    within += 1;
+                } else {
+                    across += 1;
+                }
+            }
+        }
+        assert!(within > 3 * across, "within={within} across={across}");
+    }
+
+    #[test]
+    fn random_tall_hits_sparsity() {
+        let b = random_tall(500, 128, 0.8, 3).to_csr::<PlusTimesF64>();
+        assert_eq!(b.nrows(), 500);
+        assert_eq!(b.ncols(), 128);
+        // Each row keeps round(128*0.2) = 26 entries.
+        for r in 0..500 {
+            assert_eq!(b.row_nnz(r), 26);
+        }
+        assert!((sparsity(&b) - 0.8).abs() < 0.01);
+    }
+
+    #[test]
+    fn random_tall_extremes() {
+        let empty = random_tall(10, 8, 1.0, 5);
+        assert_eq!(empty.nnz(), 0);
+        let full = random_tall(10, 8, 0.0, 5).to_csr::<PlusTimesF64>();
+        assert_eq!(full.nnz(), 80);
+    }
+
+    #[test]
+    fn web_like_has_banded_locality_and_hubs() {
+        let g = web_like(13, 16.0, 77).to_csr::<PlusTimesF64>();
+        let n = g.nrows();
+        // Locality: most entries stay within the source's 256-page host.
+        let mut local = 0usize;
+        for (r, cols, _) in g.iter_rows() {
+            for &c in cols {
+                if r / 256 == c as usize / 256 {
+                    local += 1;
+                }
+            }
+        }
+        assert!(
+            local as f64 > 0.6 * g.nnz() as f64,
+            "crawl locality too weak: {local}/{}",
+            g.nnz()
+        );
+        // Hubs: the max out-degree dwarfs the average.
+        let max_deg = (0..n).map(|r| g.row_nnz(r)).max().unwrap();
+        assert!(max_deg > 20 * g.nnz() / n, "no hub rows: max deg {max_deg}");
+        // Determinism.
+        assert_eq!(web_like(13, 16.0, 77), web_like(13, 16.0, 77));
+    }
+
+    #[test]
+    fn laplacian_rows_sum_to_zero() {
+        let m = grid2d_laplacian(4, 5).to_csr::<PlusTimesF64>();
+        assert_eq!(m.nrows(), 20);
+        for (r, _, vals) in m.iter_rows() {
+            let sum: f64 = vals.iter().sum();
+            assert!(sum.abs() < 1e-12, "row {r} sums to {sum}");
+        }
+        // Interior vertex has 4 neighbours + diagonal.
+        let interior = 5 + 2;
+        assert_eq!(m.row_nnz(interior), 5);
+        assert_eq!(m.get(interior, interior as Idx), Some(4.0));
+        // Corner has 2 neighbours.
+        assert_eq!(m.row_nnz(0), 3);
+    }
+
+    #[test]
+    fn frontier_one_per_column() {
+        let (f, sources) = init_frontier(100, 16, 11);
+        assert_eq!(f.nnz(), 16);
+        assert_eq!(sources.len(), 16);
+        let mut uniq = sources.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 16, "sources must be distinct");
+        let m = f.to_csr::<crate::semiring::BoolAndOr>();
+        let col_counts = m.col_nnz();
+        assert!(col_counts.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct sources")]
+    fn frontier_rejects_too_many_sources() {
+        let _ = init_frontier(4, 5, 0);
+    }
+}

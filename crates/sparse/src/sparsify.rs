@@ -1,0 +1,136 @@
+//! Sparsification of tall-and-skinny matrices.
+//!
+//! The sparse-embedding application (§IV-B) keeps the embedding matrix at a
+//! target sparsity by retaining, per row, only the highest-magnitude entries
+//! after each SGD step. These helpers implement that and related pruning.
+
+use crate::{Csr, Idx};
+
+/// Keeps at most `k` entries per row, choosing those with the largest
+/// `|value|`; ties break toward lower column indices for determinism.
+pub fn topk_per_row(m: &Csr<f64>, k: usize) -> Csr<f64> {
+    let mut indptr = Vec::with_capacity(m.nrows() + 1);
+    indptr.push(0);
+    let mut indices = Vec::new();
+    let mut values = Vec::new();
+    let mut scratch: Vec<(Idx, f64)> = Vec::new();
+    for (_, cols, vals) in m.iter_rows() {
+        if cols.len() <= k {
+            indices.extend_from_slice(cols);
+            values.extend_from_slice(vals);
+        } else {
+            scratch.clear();
+            scratch.extend(cols.iter().copied().zip(vals.iter().copied()));
+            scratch.sort_unstable_by(|a, b| {
+                b.1.abs()
+                    .partial_cmp(&a.1.abs())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.0.cmp(&b.0))
+            });
+            scratch.truncate(k);
+            scratch.sort_unstable_by_key(|&(c, _)| c);
+            for &(c, v) in &scratch {
+                indices.push(c);
+                values.push(v);
+            }
+        }
+        indptr.push(indices.len());
+    }
+    Csr::from_parts(m.nrows(), m.ncols(), indptr, indices, values)
+}
+
+/// Keeps per row the number of entries needed to reach a global target
+/// sparsity `s ∈ \[0,1\]` (fraction of *zero* entries per row, Table IV's
+/// "sparsity of B" convention): each row keeps `round(d·(1-s))` entries.
+pub fn sparsify_to(m: &Csr<f64>, target_sparsity: f64) -> Csr<f64> {
+    assert!((0.0..=1.0).contains(&target_sparsity), "sparsity in [0,1]");
+    let keep = ((m.ncols() as f64) * (1.0 - target_sparsity)).round() as usize;
+    topk_per_row(m, keep.max(1))
+}
+
+/// Drops entries with `|value| < eps`.
+pub fn drop_small(m: &Csr<f64>, eps: f64) -> Csr<f64> {
+    m.filter(|_, _, v| v.abs() >= eps)
+}
+
+/// Fraction of zero entries relative to the dense size.
+pub fn sparsity<T: Copy>(m: &Csr<T>) -> f64 {
+    let total = m.nrows() * m.ncols();
+    if total == 0 {
+        return 0.0;
+    }
+    1.0 - m.nnz() as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semiring::PlusTimesF64;
+    use crate::Coo;
+
+    fn row(vals: &[f64]) -> Csr<f64> {
+        let entries = vals
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v != 0.0)
+            .map(|(c, &v)| (0 as Idx, c as Idx, v))
+            .collect();
+        Coo::from_entries(1, vals.len(), entries).to_csr::<PlusTimesF64>()
+    }
+
+    #[test]
+    fn topk_keeps_largest_magnitudes() {
+        let m = row(&[0.1, -5.0, 2.0, 0.0, 3.0]);
+        let t = topk_per_row(&m, 2);
+        assert_eq!(t.nnz(), 2);
+        assert_eq!(t.get(0, 1), Some(-5.0));
+        assert_eq!(t.get(0, 4), Some(3.0));
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn topk_no_op_when_row_already_small() {
+        let m = row(&[1.0, 0.0, 2.0]);
+        assert_eq!(topk_per_row(&m, 5), m);
+    }
+
+    #[test]
+    fn topk_tie_breaks_to_lower_column() {
+        let m = row(&[2.0, -2.0, 2.0]);
+        let t = topk_per_row(&m, 2);
+        assert_eq!(t.get(0, 0), Some(2.0));
+        assert_eq!(t.get(0, 1), Some(-2.0));
+        assert_eq!(t.get(0, 2), None);
+    }
+
+    #[test]
+    fn sparsify_to_hits_target() {
+        // d = 10, target 80% sparse -> keep 2 per row.
+        let m = row(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0]);
+        let s = sparsify_to(&m, 0.8);
+        assert_eq!(s.nnz(), 2);
+        assert!((sparsity(&s) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sparsify_keeps_at_least_one() {
+        let m = row(&[1.0, 2.0]);
+        let s = sparsify_to(&m, 1.0);
+        assert_eq!(s.nnz(), 1);
+    }
+
+    #[test]
+    fn drop_small_prunes() {
+        let m = row(&[1e-9, 0.5, -1e-7]);
+        let d = drop_small(&m, 1e-6);
+        assert_eq!(d.nnz(), 1);
+        assert_eq!(d.get(0, 1), Some(0.5));
+    }
+
+    #[test]
+    fn sparsity_of_empty_and_full() {
+        assert_eq!(sparsity(&Csr::<f64>::new_empty(3, 4)), 1.0);
+        let m = row(&[1.0, 1.0]);
+        assert_eq!(sparsity(&m), 0.0);
+    }
+}

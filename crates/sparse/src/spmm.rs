@@ -1,0 +1,116 @@
+//! Local SpMM: CSR sparse × row-major dense (§V-C contender).
+//!
+//! `C = A · B` with `A` sparse and `B`, `C` dense. Unlike SpGEMM no index
+//! bookkeeping is needed per output entry, so the kernel is a plain
+//! scale-and-add over dense rows; this is why SpMM wins once `B` is denser
+//! than ~50% even though it moves more values.
+
+use crate::semiring::Semiring;
+use crate::{Csr, DenseMat};
+use rayon::prelude::*;
+
+/// Sequential SpMM under semiring `S`.
+///
+/// # Panics
+/// Panics if `a.ncols() != b.nrows()`.
+pub fn spmm<S: Semiring>(a: &Csr<S::T>, b: &DenseMat<S::T>) -> DenseMat<S::T> {
+    assert_eq!(a.ncols(), b.nrows(), "inner dimensions must agree");
+    let d = b.ncols();
+    let mut c = DenseMat::filled(a.nrows(), d, S::zero());
+    for (r, cols, vals) in a.iter_rows() {
+        // Split borrow: the output row is disjoint from b.
+        let crow = c.row_mut(r);
+        for (&k, &va) in cols.iter().zip(vals) {
+            let brow = b.row(k as usize);
+            for j in 0..d {
+                crow[j] = S::add(crow[j], S::mul(va, brow[j]));
+            }
+        }
+    }
+    c
+}
+
+/// Rayon-parallel SpMM: output rows are independent, so rows are simply
+/// distributed over threads.
+pub fn spmm_par<S: Semiring>(a: &Csr<S::T>, b: &DenseMat<S::T>) -> DenseMat<S::T> {
+    assert_eq!(a.ncols(), b.nrows(), "inner dimensions must agree");
+    let d = b.ncols();
+    let data: Vec<S::T> = (0..a.nrows())
+        .into_par_iter()
+        .flat_map_iter(|r| {
+            let mut row = vec![S::zero(); d];
+            let (cols, vals) = a.row(r);
+            for (&k, &va) in cols.iter().zip(vals) {
+                let brow = b.row(k as usize);
+                for j in 0..d {
+                    row[j] = S::add(row[j], S::mul(va, brow[j]));
+                }
+            }
+            row.into_iter()
+        })
+        .collect();
+    DenseMat::from_vec(a.nrows(), d, data)
+}
+
+/// Flop count of an SpMM: every stored `A` entry touches all `d` columns.
+pub fn spmm_flops<T: Copy>(a: &Csr<T>, d: usize) -> u64 {
+    a.nnz() as u64 * d as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semiring::PlusTimesF64;
+    use crate::spgemm::{spgemm, AccumChoice};
+    use crate::Coo;
+
+    fn a_small() -> Csr<f64> {
+        Coo::from_entries(3, 3, vec![(0, 0, 2.0), (0, 2, 1.0), (2, 1, 3.0)])
+            .to_csr::<PlusTimesF64>()
+    }
+
+    #[test]
+    fn known_product() {
+        let b = DenseMat::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let c = spmm::<PlusTimesF64>(&a_small(), &b);
+        assert_eq!(c.row(0), &[7.0, 10.0]); // 2*[1,2] + 1*[5,6]
+        assert_eq!(c.row(1), &[0.0, 0.0]);
+        assert_eq!(c.row(2), &[9.0, 12.0]); // 3*[3,4]
+    }
+
+    #[test]
+    fn matches_spgemm_on_densified_b() {
+        let a = a_small();
+        let bs = Coo::from_entries(3, 4, vec![(0, 1, 1.5), (1, 0, -1.0), (2, 3, 2.0)])
+            .to_csr::<PlusTimesF64>();
+        let bd = DenseMat::from_csr::<PlusTimesF64>(&bs);
+        let c_spmm = spmm::<PlusTimesF64>(&a, &bd);
+        let c_spgemm = spgemm::<PlusTimesF64>(&a, &bs, AccumChoice::Auto);
+        let c_dense = DenseMat::from_csr::<PlusTimesF64>(&c_spgemm);
+        for r in 0..3 {
+            for j in 0..4 {
+                assert!((c_spmm.get(r, j) - c_dense.get(r, j)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let mut coo = Coo::new(50, 50);
+        for i in 0..200u32 {
+            coo.push((i * 7) % 50, (i * 13) % 50, (i % 9) as f64 - 4.0);
+        }
+        let a = coo.to_csr::<PlusTimesF64>();
+        let b = DenseMat::from_vec(50, 4, (0..200).map(|i| i as f64 * 0.25).collect());
+        let seq = spmm::<PlusTimesF64>(&a, &b);
+        let par = spmm_par::<PlusTimesF64>(&a, &b);
+        for (x, y) in seq.data().iter().zip(par.data()) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn flops_is_nnz_times_d() {
+        assert_eq!(spmm_flops(&a_small(), 7), 21);
+    }
+}

@@ -1,0 +1,142 @@
+//! Sparse matrix × sparse vector (SpMSpV).
+//!
+//! Single-source BFS is a sequence of SpMSpV operations (§IV-A); multi-source
+//! BFS batches `d` of these into one TS-SpGEMM. The standalone kernel is kept
+//! both as the `d = 1` degenerate case and as a reference for BFS tests.
+
+use crate::accum::{Accumulator, HashAccum};
+use crate::semiring::Semiring;
+use crate::{Csr, Idx};
+
+/// A sparse vector as sorted `(index, value)` pairs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpVec<T> {
+    len: usize,
+    entries: Vec<(Idx, T)>,
+}
+
+impl<T: Copy> SpVec<T> {
+    /// Builds from entries; sorts and asserts indices are unique & in range.
+    pub fn new(len: usize, mut entries: Vec<(Idx, T)>) -> Self {
+        entries.sort_unstable_by_key(|&(i, _)| i);
+        for w in entries.windows(2) {
+            assert!(w[0].0 < w[1].0, "duplicate index {}", w[1].0);
+        }
+        if let Some(&(last, _)) = entries.last() {
+            assert!((last as usize) < len, "index {last} out of range {len}");
+        }
+        Self { len, entries }
+    }
+
+    pub fn empty(len: usize) -> Self {
+        Self {
+            len,
+            entries: Vec::new(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn entries(&self) -> &[(Idx, T)] {
+        &self.entries
+    }
+
+    pub fn get(&self, i: Idx) -> Option<T> {
+        self.entries
+            .binary_search_by_key(&i, |&(j, _)| j)
+            .ok()
+            .map(|k| self.entries[k].1)
+    }
+}
+
+/// `y = A ⊗ x` where `x` is sparse; column-driven: only the columns of `A`
+/// matching nonzeros of `x` are visited, so work is proportional to the
+/// frontier, not the matrix. Needs `A` in transposed-access order, so the
+/// caller passes `A` as CSR and we use rows of `Aᵀ`; to keep the API simple
+/// this kernel takes `at` = `Aᵀ` in CSR form.
+pub fn spmspv_transposed<S: Semiring>(at: &Csr<S::T>, x: &SpVec<S::T>) -> SpVec<S::T> {
+    assert_eq!(at.nrows(), x.len(), "dimension mismatch");
+    let mut acc = HashAccum::<S>::with_capacity(x.nnz().max(8) * 4);
+    for &(i, xv) in x.entries() {
+        let (cols, vals) = at.row(i as usize);
+        for (&r, &av) in cols.iter().zip(vals) {
+            acc.accumulate(r, S::mul(av, xv));
+        }
+    }
+    let (mut idx, mut val) = (Vec::new(), Vec::new());
+    acc.drain_sorted(&mut idx, &mut val);
+    SpVec {
+        len: at.ncols(),
+        entries: idx.into_iter().zip(val).collect(),
+    }
+}
+
+/// Convenience wrapper computing `y = A ⊗ x` from `A` itself (builds the
+/// transpose internally; prefer pre-transposing in loops).
+pub fn spmspv<S: Semiring>(a: &Csr<S::T>, x: &SpVec<S::T>) -> SpVec<S::T> {
+    spmspv_transposed::<S>(&a.transpose(), x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semiring::{BoolAndOr, PlusTimesF64};
+    use crate::Coo;
+
+    #[test]
+    fn spvec_basics() {
+        let v = SpVec::new(10, vec![(7, 1.0), (2, 2.0)]);
+        assert_eq!(v.nnz(), 2);
+        assert_eq!(v.get(2), Some(2.0));
+        assert_eq!(v.get(3), None);
+        assert_eq!(v.entries()[0].0, 2, "entries must be sorted");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate index")]
+    fn spvec_rejects_duplicates() {
+        let _ = SpVec::new(4, vec![(1, 1.0), (1, 2.0)]);
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        // A = [[1,2],[0,3]], x = [4, 5] -> y = [14, 15]
+        let a = Coo::from_entries(2, 2, vec![(0, 0, 1.0), (0, 1, 2.0), (1, 1, 3.0)])
+            .to_csr::<PlusTimesF64>();
+        let x = SpVec::new(2, vec![(0, 4.0), (1, 5.0)]);
+        let y = spmspv::<PlusTimesF64>(&a, &x);
+        assert_eq!(y.get(0), Some(14.0));
+        assert_eq!(y.get(1), Some(15.0));
+    }
+
+    #[test]
+    fn sparse_frontier_expansion() {
+        // 0 -> 1 -> 2 path; A(r,c)=1 iff edge c->r.
+        let a = Coo::from_entries(3, 3, vec![(1, 0, true), (2, 1, true)]).to_csr::<BoolAndOr>();
+        let f0 = SpVec::new(3, vec![(0, true)]);
+        let f1 = spmspv::<BoolAndOr>(&a, &f0);
+        assert_eq!(f1.entries(), &[(1, true)]);
+        let f2 = spmspv::<BoolAndOr>(&a, &f1);
+        assert_eq!(f2.entries(), &[(2, true)]);
+        let f3 = spmspv::<BoolAndOr>(&a, &f2);
+        assert!(f3.is_empty());
+    }
+
+    #[test]
+    fn empty_vector_gives_empty_result() {
+        let a = Coo::from_entries(3, 3, vec![(0, 0, 1.0)]).to_csr::<PlusTimesF64>();
+        let y = spmspv::<PlusTimesF64>(&a, &SpVec::empty(3));
+        assert!(y.is_empty());
+        assert_eq!(y.len(), 3);
+    }
+}

@@ -1,0 +1,65 @@
+//! Tile-geometry tuning walkthrough: sweeps the tile width and the
+//! local/remote policy on one workload and prints the memory/communication/
+//! time trade-off — a miniature of the paper's Fig. 5 and Fig. 6 study, for
+//! users picking parameters on their own matrices.
+//!
+//! Run with: `cargo run --release --example tune_tiles`
+
+use tsgemm::core::{ts_spgemm, BlockDist, ColBlocks, DistCsr, ModePolicy, TsConfig};
+use tsgemm::net::{CostModel, World};
+use tsgemm::sparse::gen::{random_tall, rmat, RMAT_WEB};
+use tsgemm::sparse::PlusTimesF64;
+
+fn main() {
+    let scale = 13;
+    let n = 1usize << scale;
+    let p = 16;
+    let d = 128;
+    let acoo = rmat(scale, 16.0, RMAT_WEB, 3);
+    let bcoo = random_tall(n, d, 0.8, 4);
+    let cm = CostModel::default();
+
+    println!("workload: {n}x{n} R-MAT (nnz {}), B {n}x{d} at 80% sparsity, p={p}", acoo.nnz());
+    println!("\n-- tile width sweep (hybrid policy) --");
+    println!("{:>8} {:>12} {:>14} {:>12}", "w/(n/p)", "peak-mem(B)", "comm-bytes", "modeled");
+
+    for factor in [1usize, 2, 4, 8, 16] {
+        let out = World::run(p, |comm| {
+            let dist = BlockDist::new(n, p);
+            let a = DistCsr::from_global_coo::<PlusTimesF64>(&acoo, dist, comm.rank(), n);
+            let ac = ColBlocks::build::<PlusTimesF64>(comm, &a);
+            let b = DistCsr::from_global_coo::<PlusTimesF64>(&bcoo, dist, comm.rank(), d);
+            let cfg = TsConfig::default().with_width_factor(factor, dist);
+            ts_spgemm::<PlusTimesF64>(comm, &a, &ac, &b, &cfg).1
+        });
+        let peak = out.results.iter().map(|s| s.peak_transient_bytes).max().unwrap();
+        let bytes: u64 = out.profiles.iter().map(|pr| pr.bytes_sent_tagged("ts:")).sum();
+        let t = cm.model_run(&out.profiles);
+        println!(
+            "{factor:>8} {peak:>12} {bytes:>14} {:>9.3} ms",
+            (t.compute_secs + t.comm_secs) * 1e3
+        );
+    }
+
+    println!("\n-- mode policy comparison (w = 16 n/p) --");
+    for policy in [ModePolicy::LocalOnly, ModePolicy::RemoteOnly, ModePolicy::Hybrid] {
+        let out = World::run(p, |comm| {
+            let dist = BlockDist::new(n, p);
+            let a = DistCsr::from_global_coo::<PlusTimesF64>(&acoo, dist, comm.rank(), n);
+            let ac = ColBlocks::build::<PlusTimesF64>(comm, &a);
+            let b = DistCsr::from_global_coo::<PlusTimesF64>(&bcoo, dist, comm.rank(), d);
+            let cfg = TsConfig {
+                policy,
+                ..TsConfig::default()
+            };
+            ts_spgemm::<PlusTimesF64>(comm, &a, &ac, &b, &cfg).1
+        });
+        let bytes: u64 = out.profiles.iter().map(|pr| pr.bytes_sent_tagged("ts:")).sum();
+        let stats = out.results.iter().fold(Default::default(), |acc: tsgemm::core::TsLocalStats, s| acc.merge(s));
+        println!(
+            "{policy:?}: {bytes} bytes moved; subtiles local={} remote={} diag={}",
+            stats.local_subtiles, stats.remote_subtiles, stats.diag_subtiles
+        );
+    }
+    println!("\nexpected: hybrid moves the least data — never more than local-only");
+}

@@ -1,0 +1,8 @@
+#!/bin/bash
+set -x
+for fig in fig05_tile_width fig06_tile_height fig07_spgemm_vs_spmm fig08_vary_d fig09_strong_scaling fig10_strong_scaling_99 fig12_msbfs fig13_embedding; do
+  echo "=== $fig start $(date +%T) ==="
+  timeout 3000 ./target/release/$fig > results/${fig}.log 2>&1
+  echo "=== $fig done rc=$? $(date +%T) ==="
+done
+echo ALL_FIGS_DONE

@@ -1,0 +1,20 @@
+//! Umbrella crate for the TS-SpGEMM reproduction.
+//!
+//! Re-exports the workspace crates under one roof so examples and downstream
+//! users can depend on a single `tsgemm` crate:
+//!
+//! * [`sparse`] — matrix formats, semirings, accumulators, local kernels,
+//!   generators;
+//! * [`net`] — the simulated MPI runtime (thread ranks, collectives, α–β
+//!   cost model);
+//! * [`core`] — the paper's distributed TS-SpGEMM algorithm;
+//! * [`baselines`] — 2-D/3-D Sparse SUMMA, PETSc-style 1-D, shifting SpMM;
+//! * [`apps`] — multi-source BFS and sparse graph embedding.
+//!
+//! See README.md for a quickstart and DESIGN.md for the architecture.
+
+pub use tsgemm_apps as apps;
+pub use tsgemm_baselines as baselines;
+pub use tsgemm_core as core;
+pub use tsgemm_net as net;
+pub use tsgemm_sparse as sparse;

@@ -1,0 +1,168 @@
+//! Cross-crate integration property: every distributed algorithm computes
+//! the same product as the sequential reference, for arbitrary shapes,
+//! sparsities, rank counts, tilings, and mode policies.
+
+use proptest::prelude::*;
+use tsgemm::baselines::summa2d::{gather_blocks, summa2d};
+use tsgemm::baselines::summa3d::{gather_blocks_3d, summa3d};
+use tsgemm::core::naive::naive_spgemm;
+use tsgemm::core::{ts_spgemm, BlockDist, ColBlocks, DistCsr, ModePolicy, TsConfig};
+use tsgemm::net::World;
+use tsgemm::sparse::gen::{erdos_renyi, random_tall};
+use tsgemm::sparse::spgemm::{spgemm, AccumChoice};
+use tsgemm::sparse::{Coo, Csr, PlusTimesF64};
+
+fn sequential(acoo: &Coo<f64>, bcoo: &Coo<f64>) -> Csr<f64> {
+    spgemm::<PlusTimesF64>(
+        &acoo.to_csr::<PlusTimesF64>(),
+        &bcoo.to_csr::<PlusTimesF64>(),
+        AccumChoice::Auto,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn ts_spgemm_equals_sequential(
+        n in 8usize..120,
+        p in 1usize..9,
+        d in 1usize..24,
+        deg in 1.0f64..8.0,
+        sparsity in 0.0f64..1.0,
+        policy_idx in 0usize..3,
+        hdiv in 1usize..5,
+        wfac in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        let acoo = erdos_renyi(n, deg, seed);
+        let bcoo = random_tall(n, d, sparsity, seed + 1);
+        let expected = sequential(&acoo, &bcoo);
+        let policy = [ModePolicy::Hybrid, ModePolicy::LocalOnly, ModePolicy::RemoteOnly][policy_idx];
+        let out = World::run(p, |comm| {
+            let dist = BlockDist::new(n, p);
+            let a = DistCsr::from_global_coo::<PlusTimesF64>(&acoo, dist, comm.rank(), n);
+            let ac = ColBlocks::build::<PlusTimesF64>(comm, &a);
+            let b = DistCsr::from_global_coo::<PlusTimesF64>(&bcoo, dist, comm.rank(), d);
+            let cfg = TsConfig {
+                policy,
+                tile_height: Some((dist.block().max(1)).div_ceil(hdiv)),
+                ..TsConfig::default()
+            }
+            .with_width_factor(wfac, dist);
+            let (c, _) = ts_spgemm::<PlusTimesF64>(comm, &a, &ac, &b, &cfg);
+            DistCsr { dist, rank: comm.rank(), local: c }
+                .gather_global::<PlusTimesF64>(comm)
+        });
+        for c in out.results {
+            prop_assert!(c.approx_eq(&expected, 1e-9));
+        }
+    }
+
+    #[test]
+    fn petsc_equals_sequential(
+        n in 8usize..100,
+        p in 1usize..8,
+        d in 1usize..20,
+        deg in 1.0f64..6.0,
+        sparsity in 0.0f64..1.0,
+        seed in 0u64..1000,
+    ) {
+        let acoo = erdos_renyi(n, deg, seed);
+        let bcoo = random_tall(n, d, sparsity, seed + 1);
+        let expected = sequential(&acoo, &bcoo);
+        let out = World::run(p, |comm| {
+            let dist = BlockDist::new(n, p);
+            let a = DistCsr::from_global_coo::<PlusTimesF64>(&acoo, dist, comm.rank(), n);
+            let b = DistCsr::from_global_coo::<PlusTimesF64>(&bcoo, dist, comm.rank(), d);
+            let (c, _) = naive_spgemm::<PlusTimesF64>(comm, &a, &b, AccumChoice::Auto, "t");
+            DistCsr { dist, rank: comm.rank(), local: c }
+                .gather_global::<PlusTimesF64>(comm)
+        });
+        for c in out.results {
+            prop_assert!(c.approx_eq(&expected, 1e-9));
+        }
+    }
+
+    #[test]
+    fn summa_2d_and_3d_equal_sequential(
+        n in 8usize..80,
+        g in 1usize..4,        // grid side
+        layers in 1usize..4,
+        d in 1usize..16,
+        deg in 1.0f64..6.0,
+        sparsity in 0.0f64..1.0,
+        seed in 0u64..1000,
+    ) {
+        let p2 = g * g;
+        let p3 = g * g * layers;
+        let acoo = erdos_renyi(n, deg, seed);
+        let bcoo = random_tall(n, d, sparsity, seed + 1);
+        let expected = sequential(&acoo, &bcoo);
+
+        let out2 = World::run(p2, |comm| {
+            let res = summa2d::<PlusTimesF64>(comm, &acoo, &bcoo, AccumChoice::Auto, "s2");
+            gather_blocks::<PlusTimesF64>(comm, &res, n, d)
+        });
+        for c in out2.results {
+            prop_assert!(c.approx_eq(&expected, 1e-9), "SUMMA2D mismatch");
+        }
+
+        let out3 = World::run(p3, |comm| {
+            let res = summa3d::<PlusTimesF64>(comm, &acoo, &bcoo, layers, AccumChoice::Auto, "s3");
+            gather_blocks_3d::<PlusTimesF64>(comm, &res, n, d)
+        });
+        for c in out3.results {
+            prop_assert!(c.approx_eq(&expected, 1e-9), "SUMMA3D mismatch");
+        }
+    }
+}
+
+#[test]
+fn all_five_algorithms_agree_on_one_workload() {
+    // One fixed workload through every code path, including the SpMM pair.
+    use tsgemm::baselines::shift::shift_spmm;
+    use tsgemm::core::spmm::{dist_spmm, SpmmConfig};
+    use tsgemm::sparse::DenseMat;
+
+    let n = 64;
+    let d = 8;
+    let acoo = erdos_renyi(n, 6.0, 2024);
+    let bcoo = random_tall(n, d, 0.5, 2025);
+    let expected = sequential(&acoo, &bcoo);
+    let dense_expected = DenseMat::from_csr::<PlusTimesF64>(&expected);
+
+    let out = World::run(4, |comm| {
+        let dist = BlockDist::new(n, 4);
+        let a = DistCsr::from_global_coo::<PlusTimesF64>(&acoo, dist, comm.rank(), n);
+        let ac = ColBlocks::build::<PlusTimesF64>(comm, &a);
+        let b = DistCsr::from_global_coo::<PlusTimesF64>(&bcoo, dist, comm.rank(), d);
+        let b_dense = DenseMat::from_csr::<PlusTimesF64>(&b.local);
+
+        let (ts, _) = ts_spgemm::<PlusTimesF64>(comm, &a, &ac, &b, &TsConfig::default());
+        let (petsc, _) = naive_spgemm::<PlusTimesF64>(comm, &a, &b, AccumChoice::Auto, "pe");
+        let (spmm_c, _) = dist_spmm::<PlusTimesF64>(comm, &a, &ac, &b_dense, &SpmmConfig::default());
+        let (shift_c, _) = shift_spmm::<PlusTimesF64>(comm, &a, &b_dense, "sh");
+        let s2 = summa2d::<PlusTimesF64>(comm, &acoo, &bcoo, AccumChoice::Auto, "s2");
+
+        let ts_g = DistCsr { dist, rank: comm.rank(), local: ts }
+            .gather_global::<PlusTimesF64>(comm);
+        let pe_g = DistCsr { dist, rank: comm.rank(), local: petsc }
+            .gather_global::<PlusTimesF64>(comm);
+        let s2_g = gather_blocks::<PlusTimesF64>(comm, &s2, n, d);
+        (ts_g, pe_g, s2_g, spmm_c, shift_c, dist.range(comm.rank()))
+    });
+
+    for (ts, pe, s2, spmm_c, shift_c, (lo, hi)) in out.results {
+        assert!(ts.approx_eq(&expected, 1e-9), "TS-SpGEMM");
+        assert!(pe.approx_eq(&expected, 1e-9), "PETSc 1-D");
+        assert!(s2.approx_eq(&expected, 1e-9), "SUMMA 2-D");
+        for g in lo..hi {
+            for j in 0..d {
+                let want = dense_expected.get(g as usize, j);
+                assert!((spmm_c.get((g - lo) as usize, j) - want).abs() < 1e-9, "tiled SpMM");
+                assert!((shift_c.get((g - lo) as usize, j) - want).abs() < 1e-9, "shift SpMM");
+            }
+        }
+    }
+}

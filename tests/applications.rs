@@ -1,0 +1,142 @@
+//! Application-level integration properties: the matrix-algebra BFS agrees
+//! with a classic queue BFS under every backend, and the embedding pipeline
+//! maintains its invariants end to end.
+
+use proptest::prelude::*;
+use tsgemm::apps::msbfs::{msbfs_summa2d, msbfs_ts, sequential_msbfs, BfsConfig};
+use tsgemm::core::{BlockDist, ColBlocks, DistCsr};
+use tsgemm::net::World;
+use tsgemm::sparse::gen::{erdos_renyi, init_frontier, symmetrize};
+use tsgemm::sparse::semiring::BoolAndOr;
+use tsgemm::sparse::{Coo, Idx};
+
+fn graph(n: usize, deg: f64, seed: u64) -> Coo<bool> {
+    symmetrize(&erdos_renyi(n, deg, seed)).map_values(|_| true)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn distributed_bfs_equals_queue_bfs(
+        n in 16usize..150,
+        p in 1usize..7,
+        d in 1usize..12,
+        deg in 0.5f64..5.0,
+        spmm_switch in any::<bool>(),
+        seed in 0u64..500,
+    ) {
+        let acoo = graph(n, deg, seed);
+        let (_, sources) = init_frontier(n, d.min(n), seed + 1);
+        let expected = sequential_msbfs(&acoo.to_csr::<BoolAndOr>(), &sources);
+        let out = World::run(p, |comm| {
+            let dist = BlockDist::new(n, p);
+            let a = DistCsr::from_global_coo::<BoolAndOr>(&acoo, dist, comm.rank(), n);
+            let ac = ColBlocks::build::<BoolAndOr>(comm, &a);
+            let cfg = BfsConfig { spmm_switch, ..BfsConfig::default() };
+            let (s, _) = msbfs_ts(comm, &a, &ac, &sources, &cfg);
+            DistCsr { dist, rank: comm.rank(), local: s }
+                .gather_global::<BoolAndOr>(comm)
+        });
+        for s in out.results {
+            prop_assert_eq!(&s, &expected);
+        }
+    }
+
+    #[test]
+    fn summa_bfs_equals_queue_bfs(
+        n in 16usize..100,
+        g in 1usize..4,
+        d in 1usize..10,
+        deg in 0.5f64..4.0,
+        seed in 0u64..500,
+    ) {
+        let acoo = graph(n, deg, seed);
+        let (_, sources) = init_frontier(n, d.min(n), seed + 1);
+        let expected = sequential_msbfs(&acoo.to_csr::<BoolAndOr>(), &sources);
+        let out = World::run(g * g, |comm| {
+            let (s_block, rows, cols, _) = msbfs_summa2d(comm, &acoo, &sources, 1000, "b2");
+            let mut trips: Vec<(Idx, Idx, bool)> = Vec::new();
+            for (r, cs, vs) in s_block.iter_rows() {
+                for (&c, &v) in cs.iter().zip(vs) {
+                    trips.push((rows.0 + r as Idx, cols.0 + c, v));
+                }
+            }
+            let all = comm.allgatherv(trips, "gather:verify");
+            Coo::from_entries(n, sources.len(), all.into_iter().flatten().collect())
+                .to_csr::<BoolAndOr>()
+        });
+        for s in out.results {
+            prop_assert_eq!(&s, &expected);
+        }
+    }
+}
+
+#[test]
+fn bfs_visits_exactly_the_reachable_sets() {
+    // Deterministic structure: two disjoint cliques; sources in each only
+    // reach their own clique.
+    let n = 20;
+    let mut coo = Coo::new(n, n);
+    for a in 0..10u32 {
+        for b in 0..10u32 {
+            if a != b {
+                coo.push(a, b, true);
+                coo.push(a + 10, b + 10, true);
+            }
+        }
+    }
+    let sources = vec![0 as Idx, 15];
+    let out = World::run(4, |comm| {
+        let dist = BlockDist::new(n, 4);
+        let a = DistCsr::from_global_coo::<BoolAndOr>(&coo, dist, comm.rank(), n);
+        let ac = ColBlocks::build::<BoolAndOr>(comm, &a);
+        let (s, stats) = msbfs_ts(comm, &a, &ac, &sources, &BfsConfig::default());
+        let sg = DistCsr { dist, rank: comm.rank(), local: s }
+            .gather_global::<BoolAndOr>(comm);
+        (sg, stats)
+    });
+    let (s, stats) = &out.results[0];
+    // Column 0 = clique 1 (rows 0..10); column 1 = clique 2 (rows 10..20).
+    for v in 0..10 {
+        assert_eq!(s.get(v, 0), Some(true));
+        assert_eq!(s.get(v + 10, 0), None);
+        assert_eq!(s.get(v + 10, 1), Some(true));
+    }
+    assert_eq!(s.nnz(), 20);
+    // Cliques have diameter 1: the whole clique is discovered in one
+    // iteration, one more confirms an empty frontier.
+    assert_eq!(stats.len(), 2);
+    assert_eq!(stats[1].discovered_nnz, 0);
+}
+
+#[test]
+fn embedding_end_to_end_beats_random_on_communities() {
+    use tsgemm::apps::embed::{sparse_embed, EmbedConfig};
+    use tsgemm::apps::linkpred::{link_prediction_auc, split_edges};
+    use tsgemm::sparse::gen::sbm;
+    use tsgemm::sparse::PlusTimesF64;
+
+    let n = 400;
+    let (g, _) = sbm(n, 4, 10.0, 0.5, 91);
+    let g = symmetrize(&g);
+    let (train, test) = split_edges(&g, 0.15, 92);
+    let full = g.to_csr::<PlusTimesF64>();
+    let out = World::run(4, |comm| {
+        let dist = BlockDist::new(n, 4);
+        let a = DistCsr::from_global_coo::<PlusTimesF64>(&train, dist, comm.rank(), n);
+        let cfg = EmbedConfig {
+            d: 16,
+            target_sparsity: 0.5,
+            epochs: 12,
+            lr: 0.1,
+            neg_samples: 3,
+            ..EmbedConfig::default()
+        };
+        let (z, _) = sparse_embed(comm, &a, &cfg);
+        DistCsr { dist, rank: comm.rank(), local: z }
+            .gather_global::<PlusTimesF64>(comm)
+    });
+    let auc = link_prediction_auc(&out.results[0], &full, &test, 93);
+    assert!(auc > 0.6, "trained embedding must beat chance clearly, got {auc}");
+}

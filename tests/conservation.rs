@@ -1,0 +1,139 @@
+//! Runtime-level invariants of full algorithm executions: communication
+//! conservation, tagging completeness, and the tiling/mode guarantees the
+//! paper's analysis relies on.
+
+use proptest::prelude::*;
+use tsgemm::core::{ts_spgemm, BlockDist, ColBlocks, DistCsr, ModePolicy, TsConfig};
+use tsgemm::net::{RunOutput, World};
+use tsgemm::sparse::gen::{erdos_renyi, random_tall, web_like};
+use tsgemm::sparse::{Coo, PlusTimesF64};
+
+fn run_ts(
+    acoo: &Coo<f64>,
+    bcoo: &Coo<f64>,
+    p: usize,
+    cfg: TsConfig,
+) -> RunOutput<tsgemm::core::TsLocalStats> {
+    let n = acoo.nrows();
+    let d = bcoo.ncols();
+    World::run(p, |comm| {
+        let dist = BlockDist::new(n, p);
+        let a = DistCsr::from_global_coo::<PlusTimesF64>(acoo, dist, comm.rank(), n);
+        let ac = ColBlocks::build::<PlusTimesF64>(comm, &a);
+        let b = DistCsr::from_global_coo::<PlusTimesF64>(bcoo, dist, comm.rank(), d);
+        ts_spgemm::<PlusTimesF64>(comm, &a, &ac, &b, &cfg).1
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn bytes_sent_equal_bytes_received(
+        n in 16usize..100,
+        p in 2usize..8,
+        d in 1usize..16,
+        sparsity in 0.0f64..1.0,
+        seed in 0u64..500,
+    ) {
+        let acoo = erdos_renyi(n, 5.0, seed);
+        let bcoo = random_tall(n, d, sparsity, seed + 1);
+        let out = run_ts(&acoo, &bcoo, p, TsConfig::default());
+        let sent: u64 = out.profiles.iter().map(|pr| pr.total_bytes_sent()).sum();
+        let received: u64 = out
+            .profiles
+            .iter()
+            .flat_map(|pr| pr.segments.iter())
+            .filter_map(|s| s.coll.as_ref())
+            .map(|c| c.bytes_received)
+            .sum();
+        prop_assert_eq!(sent, received, "conservation across all collectives");
+    }
+
+    #[test]
+    fn hybrid_never_moves_more_than_local_only(
+        scale in 6u32..9,
+        p in 2usize..7,
+        d in 2usize..16,
+        sparsity in 0.0f64..1.0,
+        seed in 0u64..500,
+    ) {
+        let n = 1usize << scale;
+        let acoo = web_like(scale, 8.0, seed);
+        let bcoo = random_tall(n, d, sparsity, seed + 1);
+        let volume = |policy: ModePolicy| {
+            let cfg = TsConfig { policy, ..TsConfig::default() };
+            let out = run_ts(&acoo, &bcoo, p, cfg);
+            out.profiles
+                .iter()
+                .map(|pr| pr.bytes_sent_tagged("ts:bfetch") + pr.bytes_sent_tagged("ts:cret"))
+                .sum::<u64>()
+        };
+        prop_assert!(volume(ModePolicy::Hybrid) <= volume(ModePolicy::LocalOnly));
+    }
+
+    #[test]
+    fn narrower_tiles_never_increase_peak_memory(
+        scale in 6u32..9,
+        p in 2usize..7,
+        d in 2usize..16,
+        seed in 0u64..500,
+    ) {
+        let n = 1usize << scale;
+        let acoo = erdos_renyi(n, 6.0, seed);
+        let bcoo = random_tall(n, d, 0.3, seed + 1);
+        let peak = |factor: usize| {
+            let cfg = TsConfig::default().with_width_factor(factor, BlockDist::new(n, p));
+            let out = run_ts(&acoo, &bcoo, p, cfg);
+            out.results.iter().map(|s| s.peak_transient_bytes).max().unwrap()
+        };
+        // Width 1 tile vs full-width tile (w = n covers everything at once).
+        prop_assert!(peak(1) <= peak(p * 2));
+    }
+}
+
+#[test]
+fn every_multiply_byte_carries_a_known_tag() {
+    let n = 96;
+    let d = 8;
+    let acoo = erdos_renyi(n, 6.0, 31);
+    let bcoo = random_tall(n, d, 0.5, 32);
+    let out = run_ts(&acoo, &bcoo, 4, TsConfig::default());
+    for pr in &out.profiles {
+        let total = pr.total_bytes_sent();
+        let known = pr.bytes_sent_tagged("ts:") + pr.bytes_sent_tagged("setup:");
+        assert_eq!(total, known, "all traffic must be phase-attributed");
+    }
+}
+
+#[test]
+fn subtile_accounting_is_complete() {
+    // local + remote + diagonal sub-tiles counted by the run must cover all
+    // non-empty sub-tiles of the input (computed independently here).
+    use std::collections::HashSet;
+    let n = 80;
+    let p = 4;
+    let d = 6;
+    let acoo = erdos_renyi(n, 5.0, 41);
+    let bcoo = random_tall(n, d, 0.4, 42);
+    let out = run_ts(&acoo, &bcoo, p, TsConfig::default());
+
+    let dist = BlockDist::new(n, p);
+    let block = dist.block();
+    let w = (16 * block).min(n);
+    let mut keys: HashSet<(usize, usize, usize)> = HashSet::new();
+    for &(r, c, _) in acoo.entries() {
+        let i = dist.owner(r);
+        let j = dist.owner(c);
+        if i != j {
+            let cb = c as usize / w;
+            keys.insert((i, cb, j));
+        }
+    }
+    let counted: u64 = out
+        .results
+        .iter()
+        .map(|s| s.local_subtiles + s.remote_subtiles)
+        .sum();
+    assert_eq!(counted as usize, keys.len());
+}
