@@ -46,8 +46,7 @@ pub fn msbfs_levels(
     }
     let mut stats = Vec::new();
 
-    let mut frontier_nnz =
-        comm.allreduce(f.nnz() as u64, |x, y| x + y, format!("{tag}:i0:count"));
+    let mut frontier_nnz = comm.allreduce(f.nnz() as u64, |x, y| x + y, format!("{tag}:i0:count"));
     for iter in 0..max_iters {
         if frontier_nnz == 0 {
             break;
@@ -71,11 +70,8 @@ pub fn msbfs_levels(
         }
         let discovered = fresh.nnz() as u64;
         f = fresh;
-        let next_frontier = comm.allreduce(
-            f.nnz() as u64,
-            |x, y| x + y,
-            format!("{tag}:i{iter}:count"),
-        );
+        let next_frontier =
+            comm.allreduce(f.nnz() as u64, |x, y| x + y, format!("{tag}:i{iter}:count"));
         let discovered_nnz =
             comm.allreduce(discovered, |x, y| x + y, format!("{tag}:i{iter}:disc"));
         stats.push(BfsIterStats {
@@ -246,6 +242,9 @@ mod tests {
             c[0] > c[1] && c[0] > c[2] && c[0] > c[3],
             "center must be most central: {c:?}"
         );
-        assert!((c[0] - 1.0).abs() < 1e-12, "center reaches all at distance 1");
+        assert!(
+            (c[0] - 1.0).abs() < 1e-12,
+            "center reaches all at distance 1"
+        );
     }
 }

@@ -16,6 +16,7 @@
 //! subject: communication volume, remote-tile utilisation, and the
 //! accuracy-vs-sparsity trade-off of keeping `Z` sparse.
 
+use crate::checkpoint::Checkpointer;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use tsgemm_core::colpart::ColBlocks;
@@ -62,6 +63,10 @@ pub struct EmbedConfig {
     pub force: ForceModel,
     pub seed: u64,
     pub tag: String,
+    /// Persist `Z` at every epoch boundary and resume from the last epoch
+    /// all ranks completed. Restarted runs are bit-identical to
+    /// uninterrupted ones (the RNG is reseeded per epoch).
+    pub checkpoint: Option<Checkpointer>,
 }
 
 impl Default for EmbedConfig {
@@ -77,8 +82,22 @@ impl Default for EmbedConfig {
             force: ForceModel::Spring,
             seed: 7,
             tag: "embed".to_string(),
+            checkpoint: None,
         }
     }
+}
+
+/// Decorrelated per-(seed, rank, epoch) RNG seed. Seeding per epoch — not
+/// once per run — is what makes checkpoint restarts bit-identical: epoch `e`
+/// draws the same negative samples whether or not epochs `0..e` ran in this
+/// process.
+fn epoch_seed(seed: u64, rank: usize, epoch: usize) -> u64 {
+    let mut z = seed
+        ^ (rank as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (epoch as u64 + 1).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// Per-epoch statistics (this rank; aggregate across ranks in the harness).
@@ -108,13 +127,7 @@ fn normalize_rows(z: &Csr<f64>) -> Csr<f64> {
             *v *= scale[r];
         }
     }
-    Csr::from_parts(
-        z.nrows(),
-        z.ncols(),
-        indptr,
-        z.indices().to_vec(),
-        values,
-    )
+    Csr::from_parts(z.nrows(), z.ncols(), indptr, z.indices().to_vec(), values)
 }
 
 /// Trains a sparse embedding; returns this rank's rows of `Z` and per-epoch
@@ -132,19 +145,39 @@ pub fn sparse_embed(
     let block = dist.block().max(1);
     let batch = cfg.batch.unwrap_or((block / 2).max(1)).max(1);
     let n_batches = block.div_ceil(batch);
-    let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(me as u64));
 
     // Initial sparse embedding for the local rows: zero-mean values (the
     // generator emits (0.5, 1.5]; centering stops every pair of vertices
     // from starting with the same large positive similarity).
     let mut z = normalize_rows(
-        &random_tall(my_rows, cfg.d, cfg.target_sparsity, cfg.seed ^ (me as u64 + 1))
-            .map_values(|v| v - 1.0)
-            .to_csr::<PlusTimesF64>(),
+        &random_tall(
+            my_rows,
+            cfg.d,
+            cfg.target_sparsity,
+            cfg.seed ^ (me as u64 + 1),
+        )
+        .map_values(|v| v - 1.0)
+        .to_csr::<PlusTimesF64>(),
     );
 
+    // Resume from the last epoch every rank completed (a collective: all
+    // ranks must agree on the restart point).
+    let start_epoch = match &cfg.checkpoint {
+        Some(ck) => match ck.resume_epoch(comm, cfg.epochs, &format!("{}:ckpt", cfg.tag)) {
+            Some(done) => {
+                z = ck
+                    .load(me, done)
+                    .expect("agreed checkpoint epoch must be loadable");
+                done + 1
+            }
+            None => 0,
+        },
+        None => 0,
+    };
+
     let mut stats = Vec::with_capacity(cfg.epochs);
-    for epoch in 0..cfg.epochs {
+    for epoch in start_epoch..cfg.epochs {
+        let mut rng = StdRng::seed_from_u64(epoch_seed(cfg.seed, me, epoch));
         let mut ep = EmbedEpochStats {
             epoch,
             ..EmbedEpochStats::default()
@@ -163,11 +196,7 @@ pub fn sparse_embed(
                 for &c in cols {
                     trips.push((l, c, 1.0));
                 }
-                let repulse = if cols.is_empty() {
-                    0
-                } else {
-                    cfg.neg_samples
-                };
+                let repulse = if cols.is_empty() { 0 } else { cfg.neg_samples };
                 // Repulsion balances attraction in aggregate (Force2Vec's
                 // sigmoid saturation has the same effect): each of the `ns`
                 // negatives carries deg/ns of negative weight, so the net
@@ -236,6 +265,10 @@ pub fn sparse_embed(
             z = normalize_rows(&sparsify_to(&z, cfg.target_sparsity));
         }
         ep.z_nnz = z.nnz() as u64;
+        if let Some(ck) = &cfg.checkpoint {
+            ck.save(me, epoch, &z)
+                .unwrap_or_else(|e| panic!("rank {me}: checkpoint write failed: {e}"));
+        }
         stats.push(ep);
     }
     (z, stats)
@@ -246,7 +279,7 @@ mod tests {
     use super::*;
     use tsgemm_core::part::BlockDist;
     use tsgemm_net::World;
-    use tsgemm_sparse::gen::{sbm, symmetrize, erdos_renyi};
+    use tsgemm_sparse::gen::{erdos_renyi, sbm, symmetrize};
     use tsgemm_sparse::sparsify::sparsity;
 
     #[test]
@@ -293,8 +326,7 @@ mod tests {
         let run = || {
             let out = World::run(2, |comm| {
                 let dist = BlockDist::new(n, 2);
-                let a =
-                    DistCsr::from_global_coo::<PlusTimesF64>(&g, dist, comm.rank(), n);
+                let a = DistCsr::from_global_coo::<PlusTimesF64>(&g, dist, comm.rank(), n);
                 let cfg = EmbedConfig {
                     d: 8,
                     epochs: 1,

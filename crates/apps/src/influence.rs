@@ -77,7 +77,10 @@ pub fn influence_maximization(
 ) -> (Vec<Idx>, f64) {
     let dist = a.dist;
     let n = dist.n();
-    assert!(cfg.k <= cfg.candidates, "cannot pick more seeds than candidates");
+    assert!(
+        cfg.k <= cfg.candidates,
+        "cannot pick more seeds than candidates"
+    );
 
     // Candidate pool: distinct pseudo-random vertices, identical on every
     // rank (same seed, no rank-dependent state).
@@ -97,9 +100,9 @@ pub fn influence_maximization(
     let mut reach_t: Vec<Csr<bool>> = Vec::with_capacity(cfg.samples);
     for sample in 0..cfg.samples {
         let (lo, _) = a.row_range();
-        let live = a.local.filter(|r, c, _| {
-            edge_alive(cfg.seed, sample as u64, c, lo + r as Idx, cfg.edge_prob)
-        });
+        let live = a
+            .local
+            .filter(|r, c, _| edge_alive(cfg.seed, sample as u64, c, lo + r as Idx, cfg.edge_prob));
         let live_dist = DistCsr {
             dist,
             rank: comm.rank(),
@@ -133,10 +136,7 @@ pub fn influence_maximization(
                     continue;
                 }
                 let (rows, _) = rt.row(j);
-                *gain += rows
-                    .iter()
-                    .filter(|&&v| !covered[s][v as usize])
-                    .count() as u64;
+                *gain += rows.iter().filter(|&&v| !covered[s][v as usize]).count() as u64;
             }
         }
         let global_gains = comm.allreduce(
@@ -182,11 +182,7 @@ mod tests {
     use tsgemm_sparse::gen::{erdos_renyi, symmetrize};
     use tsgemm_sparse::Coo;
 
-    fn run(
-        coo: &Coo<bool>,
-        p: usize,
-        cfg: InfluenceConfig,
-    ) -> Vec<(Vec<Idx>, f64)> {
+    fn run(coo: &Coo<bool>, p: usize, cfg: InfluenceConfig) -> Vec<(Vec<Idx>, f64)> {
         let n = coo.nrows();
         World::run(p, |comm| {
             let dist = BlockDist::new(n, p);
@@ -255,7 +251,10 @@ mod tests {
         let seeds = &results[0].0;
         assert_eq!(seeds.len(), 2);
         let comp: Vec<usize> = seeds.iter().map(|&s| (s / 10) as usize).collect();
-        assert_ne!(comp[0], comp[1], "seeds must cover both components: {seeds:?}");
+        assert_ne!(
+            comp[0], comp[1],
+            "seeds must cover both components: {seeds:?}"
+        );
         assert_eq!(results[0].1, 20.0);
     }
 

@@ -18,6 +18,7 @@
 //!   the "covers broader SpGEMM scenarios" claim (§II-A).
 
 pub mod centrality;
+pub mod checkpoint;
 pub mod embed;
 pub mod influence;
 pub mod linkpred;
@@ -26,6 +27,7 @@ pub mod motifs;
 pub mod msbfs;
 
 pub use centrality::{closeness, msbfs_levels};
+pub use checkpoint::Checkpointer;
 pub use embed::{sparse_embed, EmbedConfig, EmbedEpochStats, ForceModel};
 pub use influence::{influence_maximization, InfluenceConfig};
 pub use linkpred::{link_prediction_auc, split_edges};

@@ -91,7 +91,7 @@ pub fn link_prediction_auc(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tsgemm_sparse::gen::{sbm, symmetrize, erdos_renyi};
+    use tsgemm_sparse::gen::{erdos_renyi, sbm, symmetrize};
     use tsgemm_sparse::PlusTimesF64;
 
     #[test]
@@ -133,12 +133,8 @@ mod tests {
         // are mostly within communities, so AUC must be well above chance.
         let n = 150;
         let (g, labels) = sbm(n, 3, 8.0, 0.5, 305);
-        let z = Coo::from_entries(
-            n,
-            3,
-            (0..n).map(|v| (v as Idx, labels[v], 1.0)).collect(),
-        )
-        .to_csr::<PlusTimesF64>();
+        let z = Coo::from_entries(n, 3, (0..n).map(|v| (v as Idx, labels[v], 1.0)).collect())
+            .to_csr::<PlusTimesF64>();
         let gm = g.to_csr::<PlusTimesF64>();
         let (_, test) = split_edges(&g, 0.2, 306);
         let auc = link_prediction_auc(&z, &gm, &test, 307);
@@ -153,7 +149,10 @@ mod tests {
         let gm = g.to_csr::<PlusTimesF64>();
         let (_, test) = split_edges(&g, 0.3, 310);
         let auc = link_prediction_auc(&z, &gm, &test, 311);
-        assert!((auc - 0.5).abs() < 0.15, "random AUC should be ~0.5, got {auc}");
+        assert!(
+            (auc - 0.5).abs() < 0.15,
+            "random AUC should be ~0.5, got {auc}"
+        );
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! expansion through [`ts_spgemm`]; inflation needs column sums, which is
 //! one AllReduce per iteration.
 
+use crate::checkpoint::Checkpointer;
 use crate::msbfs::sequential_msbfs;
 use tsgemm_core::colpart::ColBlocks;
 use tsgemm_core::dist::DistCsr;
@@ -32,6 +33,12 @@ pub struct MclConfig {
     pub tolerance: f64,
     pub max_iters: usize,
     pub tag: String,
+    /// Persist the flow matrix at every expansion-iteration boundary and
+    /// resume from the last iteration all ranks completed. Restarted runs
+    /// produce bit-identical labels (MCL draws no randomness). Converged
+    /// iterates are not saved, so restarting a finished run re-executes
+    /// only its final iteration.
+    pub checkpoint: Option<Checkpointer>,
 }
 
 impl Default for MclConfig {
@@ -42,6 +49,7 @@ impl Default for MclConfig {
             tolerance: 1e-6,
             max_iters: 50,
             tag: "mcl".to_string(),
+            checkpoint: None,
         }
     }
 }
@@ -101,8 +109,22 @@ pub fn mcl(comm: &mut Comm, a: &DistCsr<f64>, cfg: &MclConfig) -> (Vec<Idx>, usi
         &cfg.tag,
     );
 
-    let mut iters = 0usize;
-    for it in 0..cfg.max_iters {
+    // Resume from the last expansion iteration every rank completed.
+    let start_it = match &cfg.checkpoint {
+        Some(ck) => match ck.resume_epoch(comm, cfg.max_iters, &format!("{}:ckpt", cfg.tag)) {
+            Some(done) => {
+                m = ck
+                    .load(me, done)
+                    .expect("agreed checkpoint iteration must be loadable");
+                done + 1
+            }
+            None => 0,
+        },
+        None => 0,
+    };
+
+    let mut iters = start_it;
+    for it in start_it..cfg.max_iters {
         iters = it + 1;
         let m_dist = DistCsr {
             dist,
@@ -146,6 +168,12 @@ pub fn mcl(comm: &mut Comm, a: &DistCsr<f64>, cfg: &MclConfig) -> (Vec<Idx>, usi
         m = next;
         if global_delta < cfg.tolerance {
             break;
+        }
+        // Saved only while unconverged: a restart of a *finished* run then
+        // redoes just the final iteration instead of running past it.
+        if let Some(ck) = &cfg.checkpoint {
+            ck.save(me, it, &m)
+                .unwrap_or_else(|e| panic!("rank {me}: checkpoint write failed: {e}"));
         }
     }
 
@@ -206,9 +234,9 @@ pub fn components(adj: &Csr<bool>) -> Vec<usize> {
             continue;
         }
         let reach = sequential_msbfs(adj, &[s as Idx]);
-        for v in 0..n {
-            if reach.get(v, 0).is_some() && comp[v] == usize::MAX {
-                comp[v] = next;
+        for (v, cv) in comp.iter_mut().enumerate() {
+            if reach.get(v, 0).is_some() && *cv == usize::MAX {
+                *cv = next;
             }
         }
         next += 1;
@@ -221,7 +249,7 @@ mod tests {
     use super::*;
     use tsgemm_core::part::BlockDist;
     use tsgemm_net::World;
-    use tsgemm_sparse::gen::{sbm, symmetrize, erdos_renyi};
+    use tsgemm_sparse::gen::{erdos_renyi, sbm, symmetrize};
     use tsgemm_sparse::semiring::BoolAndOr;
 
     fn run_mcl(g: &Coo<f64>, p: usize, cfg: MclConfig) -> (Vec<Idx>, usize) {
@@ -271,8 +299,7 @@ mod tests {
         let mut agree = 0usize;
         let mut total = 0usize;
         for comm_id in 0..3u32 {
-            let members: Vec<usize> =
-                (0..n).filter(|&v| planted[v] == comm_id).collect();
+            let members: Vec<usize> = (0..n).filter(|&v| planted[v] == comm_id).collect();
             let mut counts = std::collections::HashMap::new();
             for &v in &members {
                 *counts.entry(labels[v]).or_insert(0usize) += 1;
@@ -298,10 +325,7 @@ mod tests {
         for u in 0..n {
             for v in (u + 1)..n {
                 if labels[u] == labels[v] {
-                    assert_eq!(
-                        comp[u], comp[v],
-                        "cluster spans components at ({u},{v})"
-                    );
+                    assert_eq!(comp[u], comp[v], "cluster spans components at ({u},{v})");
                 }
             }
         }

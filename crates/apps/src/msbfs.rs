@@ -60,11 +60,7 @@ pub struct BfsIterStats {
 
 /// Builds the initial frontier block for this rank: one `true` per column
 /// at the source vertex (Alg. 3 line 2).
-pub fn init_frontier_block(
-    dist: BlockDist,
-    rank: usize,
-    sources: &[Idx],
-) -> DistCsr<bool> {
+pub fn init_frontier_block(dist: BlockDist, rank: usize, sources: &[Idx]) -> DistCsr<bool> {
     let d = sources.len();
     let coo = Coo::from_entries(
         dist.n(),
@@ -100,8 +96,7 @@ pub fn msbfs_ts(
     let mut s = f.clone();
     let mut stats = Vec::new();
 
-    let mut frontier_nnz =
-        comm.allreduce(f.nnz() as u64, |a, b| a + b, format!("{base}:i0:count"));
+    let mut frontier_nnz = comm.allreduce(f.nnz() as u64, |a, b| a + b, format!("{base}:i0:count"));
 
     for iter in 0..cfg.max_iters {
         if frontier_nnz == 0 {
@@ -283,8 +278,7 @@ pub fn msbfs_parents(
     let mut parents = f.clone(); // sources are their own parents
     let mut stats = Vec::new();
 
-    let mut frontier_nnz =
-        comm.allreduce(f.nnz() as u64, |x, y| x + y, format!("{tag}:i0:count"));
+    let mut frontier_nnz = comm.allreduce(f.nnz() as u64, |x, y| x + y, format!("{tag}:i0:count"));
     for iter in 0..max_iters {
         if frontier_nnz == 0 {
             break;
@@ -334,11 +328,8 @@ pub fn msbfs_parents(
         let discovered = fresh.nnz() as u64;
         f = fresh;
 
-        let next_frontier = comm.allreduce(
-            f.nnz() as u64,
-            |x, y| x + y,
-            format!("{tag}:i{iter}:count"),
-        );
+        let next_frontier =
+            comm.allreduce(f.nnz() as u64, |x, y| x + y, format!("{tag}:i{iter}:count"));
         let discovered_nnz =
             comm.allreduce(discovered, |x, y| x + y, format!("{tag}:i{iter}:disc"));
         stats.push(BfsIterStats {
@@ -425,8 +416,7 @@ mod tests {
         let (_, sources) = init_frontier(n, 6, 104);
         let expected = sequential_msbfs(&acoo.to_csr::<BoolAndOr>(), &sources);
         let out = World::run(4, |comm| {
-            let (s_block, rows, cols, _) =
-                msbfs_summa2d(comm, &acoo, &sources, 1000, "bfs2d");
+            let (s_block, rows, cols, _) = msbfs_summa2d(comm, &acoo, &sources, 1000, "bfs2d");
             // Gather blocks.
             let mut trips: Vec<(Idx, Idx, bool)> = Vec::new();
             for (r, cs, vs) in s_block.iter_rows() {

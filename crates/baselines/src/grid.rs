@@ -25,7 +25,11 @@ impl Grid2d {
     pub fn square(comm: &mut Comm) -> Self {
         let p = comm.size();
         let g = (p as f64).sqrt().round() as usize;
-        assert_eq!(g * g, p, "2-D SUMMA needs a perfect-square rank count, got {p}");
+        assert_eq!(
+            g * g,
+            p,
+            "2-D SUMMA needs a perfect-square rank count, got {p}"
+        );
         Self::new(comm, g, g)
     }
 

@@ -127,7 +127,13 @@ mod tests {
     fn matches_sequential() {
         let n = 40;
         let d = 6;
-        let bytes = check(n, d, 4, &erdos_renyi(n, 5.0, 57), &random_tall(n, d, 0.0, 58));
+        let bytes = check(
+            n,
+            d,
+            4,
+            &erdos_renyi(n, 5.0, 57),
+            &random_tall(n, d, 0.0, 58),
+        );
         assert!(bytes > 0);
     }
 
@@ -135,14 +141,26 @@ mod tests {
     fn works_with_uneven_blocks() {
         let n = 37; // not divisible by 5
         let d = 4;
-        check(n, d, 5, &erdos_renyi(n, 4.0, 59), &random_tall(n, d, 0.3, 60));
+        check(
+            n,
+            d,
+            5,
+            &erdos_renyi(n, 4.0, 59),
+            &random_tall(n, d, 0.3, 60),
+        );
     }
 
     #[test]
     fn single_rank_no_shifts() {
         let n = 15;
         let d = 4;
-        let bytes = check(n, d, 1, &erdos_renyi(n, 3.0, 61), &random_tall(n, d, 0.0, 62));
+        let bytes = check(
+            n,
+            d,
+            1,
+            &erdos_renyi(n, 3.0, 61),
+            &random_tall(n, d, 0.0, 62),
+        );
         assert_eq!(bytes, 0);
     }
 

@@ -68,21 +68,13 @@ pub fn block_to_trips<T: Copy>(m: &Csr<T>) -> Vec<BTrip<T>> {
     let mut out = Vec::with_capacity(m.nnz());
     for (r, cols, vals) in m.iter_rows() {
         for (&c, &v) in cols.iter().zip(vals) {
-            out.push(BTrip {
-                r: r as Idx,
-                c,
-                v,
-            });
+            out.push(BTrip { r: r as Idx, c, v });
         }
     }
     out
 }
 
-pub fn trips_to_block<T: Copy>(
-    trips: Vec<BTrip<T>>,
-    nrows: usize,
-    ncols: usize,
-) -> Csr<T> {
+pub fn trips_to_block<T: Copy>(trips: Vec<BTrip<T>>, nrows: usize, ncols: usize) -> Csr<T> {
     csr_from_unique_triplets(
         nrows,
         ncols,
@@ -187,8 +179,8 @@ pub fn summa2d<S: Semiring>(
     );
     comm.add_flops(flops);
 
-    let c_block = Coo::from_entries((rhi - rlo) as usize, (dhi - dlo) as usize, c_trips)
-        .to_csr::<S>();
+    let c_block =
+        Coo::from_entries((rhi - rlo) as usize, (dhi - dlo) as usize, c_trips).to_csr::<S>();
     Summa2dOut {
         c_block,
         rows: rlo..rhi,
@@ -244,14 +236,26 @@ mod tests {
     fn matches_sequential_4_ranks() {
         let n = 40;
         let d = 8;
-        check(n, d, 4, &erdos_renyi(n, 5.0, 33), &random_tall(n, d, 0.5, 34));
+        check(
+            n,
+            d,
+            4,
+            &erdos_renyi(n, 5.0, 33),
+            &random_tall(n, d, 0.5, 34),
+        );
     }
 
     #[test]
     fn matches_sequential_9_ranks() {
         let n = 54;
         let d = 6;
-        check(n, d, 9, &erdos_renyi(n, 4.0, 35), &random_tall(n, d, 0.25, 36));
+        check(
+            n,
+            d,
+            9,
+            &erdos_renyi(n, 4.0, 35),
+            &random_tall(n, d, 0.25, 36),
+        );
     }
 
     #[test]
@@ -260,7 +264,13 @@ mod tests {
         // algorithm must still be correct.
         let n = 30;
         let d = 2;
-        check(n, d, 9, &erdos_renyi(n, 5.0, 37), &random_tall(n, d, 0.0, 38));
+        check(
+            n,
+            d,
+            9,
+            &erdos_renyi(n, 5.0, 37),
+            &random_tall(n, d, 0.0, 38),
+        );
     }
 
     #[test]
@@ -293,6 +303,12 @@ mod tests {
     fn single_rank_grid() {
         let n = 12;
         let d = 3;
-        check(n, d, 1, &erdos_renyi(n, 3.0, 41), &random_tall(n, d, 0.5, 42));
+        check(
+            n,
+            d,
+            1,
+            &erdos_renyi(n, 3.0, 41),
+            &random_tall(n, d, 0.5, 42),
+        );
     }
 }

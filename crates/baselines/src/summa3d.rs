@@ -45,7 +45,10 @@ pub fn summa3d<S: Semiring>(
     tag: &str,
 ) -> Summa3dOut<S::T> {
     let p = comm.size();
-    assert!(layers >= 1 && p.is_multiple_of(layers), "layers must divide p");
+    assert!(
+        layers >= 1 && p.is_multiple_of(layers),
+        "layers must divide p"
+    );
     let per_layer = p / layers;
     let g = (per_layer as f64).sqrt().round() as usize;
     assert_eq!(
@@ -165,8 +168,7 @@ mod tests {
             AccumChoice::Auto,
         );
         let out = World::run(p, |comm| {
-            let res =
-                summa3d::<PlusTimesF64>(comm, acoo, bcoo, layers, AccumChoice::Auto, "s3");
+            let res = summa3d::<PlusTimesF64>(comm, acoo, bcoo, layers, AccumChoice::Auto, "s3");
             gather_blocks_3d::<PlusTimesF64>(comm, &res, n, d)
         });
         for c in out.results {
@@ -178,21 +180,42 @@ mod tests {
     fn matches_sequential_two_layers() {
         let n = 40;
         let d = 8;
-        check(n, d, 8, 2, &erdos_renyi(n, 5.0, 43), &random_tall(n, d, 0.5, 44));
+        check(
+            n,
+            d,
+            8,
+            2,
+            &erdos_renyi(n, 5.0, 43),
+            &random_tall(n, d, 0.5, 44),
+        );
     }
 
     #[test]
     fn matches_sequential_four_layers() {
         let n = 48;
         let d = 6;
-        check(n, d, 16, 4, &erdos_renyi(n, 4.0, 45), &random_tall(n, d, 0.25, 46));
+        check(
+            n,
+            d,
+            16,
+            4,
+            &erdos_renyi(n, 4.0, 45),
+            &random_tall(n, d, 0.25, 46),
+        );
     }
 
     #[test]
     fn one_layer_degenerates_to_2d() {
         let n = 36;
         let d = 4;
-        check(n, d, 4, 1, &erdos_renyi(n, 5.0, 47), &random_tall(n, d, 0.5, 48));
+        check(
+            n,
+            d,
+            4,
+            1,
+            &erdos_renyi(n, 5.0, 47),
+            &random_tall(n, d, 0.5, 48),
+        );
     }
 
     #[test]
@@ -206,14 +229,8 @@ mod tests {
         let bcoo = random_tall(n, d, 0.5, 50);
         let vol = |layers: usize| {
             let out = World::run(16, |comm| {
-                let _ = summa3d::<PlusTimesF64>(
-                    comm,
-                    &acoo,
-                    &bcoo,
-                    layers,
-                    AccumChoice::Auto,
-                    "s3",
-                );
+                let _ =
+                    summa3d::<PlusTimesF64>(comm, &acoo, &bcoo, layers, AccumChoice::Auto, "s3");
             });
             let abcast: u64 = out
                 .profiles

@@ -66,5 +66,10 @@ fn bench_bcast_and_reduce(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_alltoallv, bench_world_spawn, bench_bcast_and_reduce);
+criterion_group!(
+    benches,
+    bench_alltoallv,
+    bench_world_spawn,
+    bench_bcast_and_reduce
+);
 criterion_main!(benches);

@@ -28,10 +28,20 @@ fn main() {
 
     let mut rep = Report::new(
         format!("Ablation: vertex ordering (uk stand-in, p={p}, d={d}, 80% sparse B)"),
-        &["mean-bandwidth", "ts-bytes", "ts-time", "summa2d-bytes", "summa2d-time"],
+        &[
+            "mean-bandwidth",
+            "ts-bytes",
+            "ts-time",
+            "summa2d-bytes",
+            "summa2d-time",
+        ],
     );
 
-    for (name, m) in [("natural", &natural), ("shuffled", &shuffled), ("rcm", &rcm)] {
+    for (name, m) in [
+        ("natural", &natural),
+        ("shuffled", &shuffled),
+        ("rcm", &rcm),
+    ] {
         let coo: Coo<f64> = m.to_coo();
         let ts = run_algo(&Algo::ts(), p, &coo, &b, &cm);
         let s2 = run_algo(&Algo::Summa2d, p, &coo, &b, &cm);

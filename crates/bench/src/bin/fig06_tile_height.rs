@@ -19,10 +19,15 @@ fn main() {
     let block = ds.n.div_ceil(p).max(1);
 
     let mut rep = Report::new(
-        format!(
-            "Fig 6: data transfer, hybrid vs local mode (gap, p={p}, d={d}, w=16n/p)"
-        ),
-        &["h", "hybrid-bytes", "local-bytes", "hybrid", "local", "saving%"],
+        format!("Fig 6: data transfer, hybrid vs local mode (gap, p={p}, d={d}, w=16n/p)"),
+        &[
+            "h",
+            "hybrid-bytes",
+            "local-bytes",
+            "hybrid",
+            "local",
+            "saving%",
+        ],
     );
 
     let mut h = block;

@@ -20,7 +20,14 @@ fn main() {
 
     let mut vol = Report::new(
         format!("Fig 7a: communication volume vs B sparsity (uk, p={p}, d={d})"),
-        &["sparsity%", "spgemm-bytes", "spmm-bytes", "shift-bytes", "spgemm", "spmm"],
+        &[
+            "sparsity%",
+            "spgemm-bytes",
+            "spmm-bytes",
+            "shift-bytes",
+            "spgemm",
+            "spmm",
+        ],
     );
     let mut time = Report::new(
         format!("Fig 7b: modeled runtime vs B sparsity (uk, p={p}, d={d})"),

@@ -17,10 +17,7 @@ use tsgemm_sparse::gen::init_frontier;
 use tsgemm_sparse::semiring::BoolAndOr;
 
 fn iter_cost(profiles: &[RankProfile], cm: &CostModel, prefix: &str) -> (u64, f64) {
-    let bytes: u64 = profiles
-        .iter()
-        .map(|p| p.bytes_sent_tagged(prefix))
-        .sum();
+    let bytes: u64 = profiles.iter().map(|p| p.bytes_sent_tagged(prefix)).sum();
     let secs = cm.comm_secs_tagged(profiles, prefix) + cm.compute_secs_tagged(profiles, prefix);
     (bytes, secs)
 }

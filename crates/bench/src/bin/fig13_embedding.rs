@@ -29,19 +29,20 @@ fn main() {
 
         let mut rep = Report::new(
             format!("Fig 13: sparse embedding ({alias}, p={p}, d={d}, {epochs} epochs)"),
-            &["sparsity%", "auc", "runtime-s", "comm-bytes", "remote-tiles%"],
+            &[
+                "sparsity%",
+                "auc",
+                "runtime-s",
+                "comm-bytes",
+                "remote-tiles%",
+            ],
         );
 
         for s_pct in [0, 40, 60, 80, 90] {
             let sparsity = s_pct as f64 / 100.0;
             let out = World::run(p, |comm| {
                 let dist = BlockDist::new(ds.n, p);
-                let a = DistCsr::from_global_coo::<PlusTimesF64>(
-                    &train,
-                    dist,
-                    comm.rank(),
-                    ds.n,
-                );
+                let a = DistCsr::from_global_coo::<PlusTimesF64>(&train, dist, comm.rank(), ds.n);
                 // lr raised above the Table IV value: the simplified
                 // constant-coefficient forces (DESIGN.md §2) need a larger
                 // step than Force2Vec's sigmoid-scaled gradients.

@@ -24,14 +24,8 @@ fn main() {
     let mut rep = Report::new("Table IV: default parameters", &["value"]);
     rep.push("ranks per node (cost model)", vec!["8".into()]);
     rep.push("dimension of B (d)", vec![d.to_string()]);
-    rep.push(
-        "tile height (h)",
-        vec![format!("{} (= n/p)", tiling.h)],
-    );
-    rep.push(
-        "tile width (w)",
-        vec![format!("{} (= 16 n/p)", tiling.w)],
-    );
+    rep.push("tile height (h)", vec![format!("{} (= n/p)", tiling.h)]);
+    rep.push("tile width (w)", vec![format!("{} (= 16 n/p)", tiling.w)]);
     rep.push("default sparsity of B", vec!["80%".into()]);
     rep.push(
         "SPA/hash switch (d threshold)",

@@ -9,7 +9,13 @@ use tsgemm_sparse::PlusTimesF64;
 fn main() {
     let mut rep = Report::new(
         format!("Table V: datasets (stand-ins at scale 2^{})", scale()),
-        &["vertices", "edges", "avg-degree", "paper-vertices", "paper-avg-deg"],
+        &[
+            "vertices",
+            "edges",
+            "avg-degree",
+            "paper-vertices",
+            "paper-avg-deg",
+        ],
     );
     let paper: std::collections::HashMap<&str, (&str, f64)> = [
         ("uk", ("18,520,486", 16.0)),

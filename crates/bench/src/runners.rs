@@ -165,8 +165,7 @@ pub fn run_algo(
                     d,
                     take_b(comm.rank()),
                 );
-                let (c, ns) =
-                    naive_spgemm::<PlusTimesF64>(comm, &a, &b, AccumChoice::Auto, tag);
+                let (c, ns) = naive_spgemm::<PlusTimesF64>(comm, &a, &b, AccumChoice::Auto, tag);
                 (
                     c.nnz() as u64,
                     TsLocalStats {

@@ -1,0 +1,70 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only `crossbeam::channel::{unbounded, Sender, Receiver}` is used in this
+//! workspace, and since Rust 1.72 `std::sync::mpsc::Sender` is `Sync`, so the
+//! std channel is a drop-in replacement for the unbounded MPMC-ish usage here
+//! (each receiver is owned by exactly one rank thread).
+
+pub mod channel {
+    use std::sync::Mutex;
+    use std::time::Duration;
+
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, Sender, TryRecvError};
+
+    /// Receiving half of an unbounded channel. Unlike `std::sync::mpsc`'s
+    /// receiver, crossbeam's is `Sync`; a mutex restores that property (each
+    /// receiver here is only ever drained by one rank thread, so the lock is
+    /// uncontended).
+    pub struct Receiver<T>(Mutex<std::sync::mpsc::Receiver<T>>);
+
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.lock().unwrap_or_else(|p| p.into_inner()).recv()
+        }
+
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.0
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .recv_timeout(timeout)
+        }
+
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.lock().unwrap_or_else(|p| p.into_inner()).try_recv()
+        }
+    }
+
+    /// Create an unbounded channel, mirroring `crossbeam::channel::unbounded`.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = std::sync::mpsc::channel();
+        (tx, Receiver(Mutex::new(rx)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+    use std::time::Duration;
+
+    #[test]
+    fn unbounded_roundtrip() {
+        let (tx, rx) = channel::unbounded();
+        tx.send(41usize).unwrap();
+        tx.send(1usize).unwrap();
+        assert_eq!(rx.recv().unwrap() + rx.recv().unwrap(), 42);
+    }
+
+    #[test]
+    fn recv_timeout_times_out_when_empty() {
+        let (_tx, rx) = channel::unbounded::<u8>();
+        let err = rx.recv_timeout(Duration::from_millis(1)).unwrap_err();
+        assert_eq!(err, channel::RecvTimeoutError::Timeout);
+    }
+
+    #[test]
+    fn recv_fails_after_all_senders_drop() {
+        let (tx, rx) = channel::unbounded::<u8>();
+        drop(tx);
+        assert!(rx.recv().is_err());
+    }
+}

@@ -1,0 +1,99 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! Executes "parallel" iterators sequentially. The workspace's uses of rayon
+//! (`into_par_iter` on ranges, `step_by`/`map`/`flat_map_iter`/`collect`) are
+//! all order-preserving in rayon's `collect`, so a sequential execution is
+//! observationally identical — only wall-clock speedup is lost, which no test
+//! asserts on. `current_num_threads` still reports real hardware parallelism
+//! so chunking code paths stay exercised.
+
+/// Mirrors `rayon::current_num_threads`: the would-be pool size.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Sequential stand-in for rayon's parallel iterator.
+pub struct ParIter<I>(I);
+
+impl<I: Iterator> ParIter<I> {
+    pub fn step_by(self, step: usize) -> ParIter<std::iter::StepBy<I>> {
+        ParIter(self.0.step_by(step))
+    }
+
+    pub fn map<O, F: FnMut(I::Item) -> O>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
+        ParIter(self.0.map(f))
+    }
+
+    /// Rayon's `flat_map_iter`: flatten with a serial inner iterator.
+    pub fn flat_map_iter<U, F>(self, f: F) -> ParIter<std::iter::FlatMap<I, U, F>>
+    where
+        U: IntoIterator,
+        F: FnMut(I::Item) -> U,
+    {
+        ParIter(self.0.flat_map(f))
+    }
+
+    pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> ParIter<std::iter::Filter<I, F>> {
+        ParIter(self.0.filter(f))
+    }
+
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+}
+
+/// Entry point matching `rayon::iter::IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    type Item;
+    type Iter: Iterator<Item = Self::Item>;
+    fn into_par_iter(self) -> ParIter<Self::Iter>;
+}
+
+impl<T: IntoIterator> IntoParallelIterator for T {
+    type Item = T::Item;
+    type Iter = T::IntoIter;
+    fn into_par_iter(self) -> ParIter<T::IntoIter> {
+        ParIter(self.into_iter())
+    }
+}
+
+pub mod iter {
+    pub use super::{IntoParallelIterator, ParIter};
+}
+
+pub mod prelude {
+    pub use super::{IntoParallelIterator, ParIter};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_map_collect_preserves_order() {
+        let v: Vec<usize> = (0..100).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(v, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn step_by_then_map_matches_serial() {
+        let v: Vec<usize> = (0..10).into_par_iter().step_by(3).map(|x| x + 1).collect();
+        assert_eq!(v, vec![1, 4, 7, 10]);
+    }
+
+    #[test]
+    fn flat_map_iter_flattens_in_order() {
+        let v: Vec<usize> = (0..3)
+            .into_par_iter()
+            .flat_map_iter(|x| vec![x, x * 10].into_iter())
+            .collect();
+        assert_eq!(v, vec![0, 0, 1, 10, 2, 20]);
+    }
+
+    #[test]
+    fn thread_count_is_positive() {
+        assert!(super::current_num_threads() >= 1);
+    }
+}

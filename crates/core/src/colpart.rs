@@ -68,7 +68,6 @@ impl<T: Copy + Send + 'static> ColBlocks<T> {
             local: Csc::from_coo::<S>(&coo),
         }
     }
-
 }
 
 impl<T: Copy> ColBlocks<T> {

@@ -132,12 +132,8 @@ mod tests {
         let dist = BlockDist::new(45, 4);
         let parts = partition_coo(&coo, dist);
         for rank in 0..4 {
-            let fast = DistCsr::from_local_triplets::<PlusTimesF64>(
-                dist,
-                rank,
-                45,
-                parts[rank].clone(),
-            );
+            let fast =
+                DistCsr::from_local_triplets::<PlusTimesF64>(dist, rank, 45, parts[rank].clone());
             let slow = DistCsr::from_global_coo::<PlusTimesF64>(&coo, dist, rank, 45);
             assert_eq!(fast, slow);
         }
@@ -170,8 +166,7 @@ mod tests {
         let global = coo.to_csr::<PlusTimesF64>();
         let out = World::run(3, |comm| {
             let dist = BlockDist::new(60, 3);
-            let blk =
-                DistCsr::from_global_coo::<PlusTimesF64>(&coo, dist, comm.rank(), 60);
+            let blk = DistCsr::from_global_coo::<PlusTimesF64>(&coo, dist, comm.rank(), 60);
             blk.gather_global::<PlusTimesF64>(comm)
         });
         for g in out.results {

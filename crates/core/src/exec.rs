@@ -22,7 +22,7 @@ use crate::mode::{decide_modes, ModePolicy, TileMode};
 use crate::part::BlockDist;
 use crate::tiling::{subtile_csr, TileBuckets, Tiling};
 use std::collections::HashMap;
-use tsgemm_net::Comm;
+use tsgemm_net::{Comm, CommError};
 use tsgemm_sparse::accum::{Accumulator, HashAccum, Spa};
 use tsgemm_sparse::semiring::Semiring;
 use tsgemm_sparse::spgemm::{spgemm, spgemm_flops, AccumChoice};
@@ -89,6 +89,9 @@ pub struct TsLocalStats {
     pub diag_subtiles: u64,
     /// Tile steps executed.
     pub steps: u64,
+    /// Tile-step collectives retried after an injected transient failure
+    /// (always zero without an active fault plan).
+    pub retries: u64,
 }
 
 impl TsLocalStats {
@@ -100,12 +103,49 @@ impl TsLocalStats {
         self.remote_subtiles += other.remote_subtiles;
         self.diag_subtiles += other.diag_subtiles;
         self.steps = self.steps.max(other.steps);
+        self.retries += other.retries;
         self
+    }
+}
+
+/// Attempts a tile-step AllToAllv up to this many times when the active
+/// fault plan injects transient failures (a transient error performs no
+/// communication, so a retry re-enters the collective in lock-step).
+pub const MAX_COLLECTIVE_ATTEMPTS: u32 = 3;
+
+/// AllToAllv with bounded retry on [`CommError::Injected`]. The defensive
+/// copy of the send buffers is made only under an active fault plan;
+/// fault-free runs pay nothing.
+fn alltoallv_retry<T: Clone + Send + 'static>(
+    comm: &mut Comm,
+    sends: Vec<Vec<T>>,
+    tag: String,
+    retries: &mut u64,
+) -> Result<Vec<Vec<T>>, CommError> {
+    if !comm.fault_active() {
+        return comm.try_alltoallv(sends, tag);
+    }
+    let mut bufs = sends;
+    let mut attempt = 1u32;
+    loop {
+        let backup = (attempt < MAX_COLLECTIVE_ATTEMPTS).then(|| bufs.clone());
+        match comm.try_alltoallv(bufs, tag.clone()) {
+            Ok(r) => return Ok(r),
+            Err(e) if e.is_transient() && backup.is_some() => {
+                *retries += 1;
+                bufs = backup.unwrap();
+                attempt += 1;
+            }
+            Err(e) => return Err(e),
+        }
     }
 }
 
 /// Distributed TS-SpGEMM: returns this rank's row block of `C` (local rows,
 /// `d` columns) and its local statistics.
+///
+/// Transient injected faults on the tile-step collectives are retried
+/// internally (see [`try_ts_spgemm`]); any other [`CommError`] panics.
 ///
 /// # Panics
 /// Panics if `b`'s row distribution differs from `a`'s, or if the column
@@ -117,12 +157,29 @@ pub fn ts_spgemm<S: Semiring>(
     b: &DistCsr<S::T>,
     cfg: &TsConfig,
 ) -> (Csr<S::T>, TsLocalStats) {
+    try_ts_spgemm::<S>(comm, a, ac, b, cfg).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`ts_spgemm`]: tile-step collectives that fail with a transient
+/// injected error are retried up to [`MAX_COLLECTIVE_ATTEMPTS`] times
+/// (`stats.retries` counts them); non-transient errors are returned.
+pub fn try_ts_spgemm<S: Semiring>(
+    comm: &mut Comm,
+    a: &DistCsr<S::T>,
+    ac: &ColBlocks<S::T>,
+    b: &DistCsr<S::T>,
+    cfg: &TsConfig,
+) -> Result<(Csr<S::T>, TsLocalStats), CommError> {
     let me = comm.rank();
     let p = comm.size();
     let dist = a.dist;
     assert_eq!(b.dist, dist, "B rows must follow A's distribution");
     assert_eq!(ac.dist, dist, "A^c columns must follow A's distribution");
-    assert_eq!(a.ncols(), dist.n(), "A must be square over the distribution");
+    assert_eq!(
+        a.ncols(),
+        dist.n(),
+        "A must be square over the distribution"
+    );
     let d = b.ncols();
     let (my_lo, _) = dist.range(me);
 
@@ -209,8 +266,14 @@ pub fn ts_spgemm<S: Semiring>(
             }
 
             // ---- consolidated communication ------------------------------
-            let brecv = comm.alltoallv(bsend, format!("{}:bfetch", cfg.tag));
-            let crecv = comm.alltoallv(csend, format!("{}:cret", cfg.tag));
+            let brecv = alltoallv_retry(
+                comm,
+                bsend,
+                format!("{}:bfetch", cfg.tag),
+                &mut stats.retries,
+            )?;
+            let crecv =
+                alltoallv_retry(comm, csend, format!("{}:cret", cfg.tag), &mut stats.retries)?;
 
             let transient: u64 = brecv
                 .iter()
@@ -231,8 +294,7 @@ pub fn ts_spgemm<S: Semiring>(
                 for t in msg {
                     if run_row != Some(t.row) {
                         if let Some(rr) = run_row {
-                            brow_index
-                                .insert(rr, (run_start as u32, brow_entries.len() as u32));
+                            brow_index.insert(rr, (run_start as u32, brow_entries.len() as u32));
                         }
                         run_row = Some(t.row);
                         run_start = brow_entries.len();
@@ -268,8 +330,7 @@ pub fn ts_spgemm<S: Semiring>(
                         match modes.own.get(&(rb as u32, cb as u32, j)) {
                             Some(TileMode::Local) => {
                                 if let Some(&(lo_e, hi_e)) = brow_index.get(&c) {
-                                    for &(bcol, bval) in
-                                        &brow_entries[lo_e as usize..hi_e as usize]
+                                    for &(bcol, bval) in &brow_entries[lo_e as usize..hi_e as usize]
                                     {
                                         accumulate(
                                             use_spa,
@@ -288,9 +349,7 @@ pub fn ts_spgemm<S: Semiring>(
                                 // The serving rank saw no entries for this
                                 // sub-tile, yet we hold one: A and A^c have
                                 // diverged, which is a bug.
-                                unreachable!(
-                                    "sub-tile ({rb},{cb}) served by {j} has no mode"
-                                );
+                                unreachable!("sub-tile ({rb},{cb}) served by {j} has no mode");
                             }
                         }
                     }
@@ -321,7 +380,7 @@ pub fn ts_spgemm<S: Semiring>(
     stats.flops = flops;
 
     let c = Coo::from_entries(a.local_rows(), d, out_trips).to_csr::<S>();
-    (c, stats)
+    Ok((c, stats))
 }
 
 #[inline]
@@ -426,7 +485,11 @@ mod tests {
         let d = 6;
         let acoo = erdos_renyi(n, 6.0, 31);
         let bcoo = random_tall(n, d, 0.7, 32);
-        for policy in [ModePolicy::Hybrid, ModePolicy::LocalOnly, ModePolicy::RemoteOnly] {
+        for policy in [
+            ModePolicy::Hybrid,
+            ModePolicy::LocalOnly,
+            ModePolicy::RemoteOnly,
+        ] {
             let cfg = TsConfig {
                 policy,
                 ..TsConfig::default()
@@ -506,8 +569,7 @@ mod tests {
             let a = DistCsr::from_global_coo::<BoolAndOr>(&acoo, dist, comm.rank(), n);
             let ac = ColBlocks::build::<BoolAndOr>(comm, &a);
             let b = DistCsr::from_global_coo::<BoolAndOr>(&fcoo, dist, comm.rank(), d);
-            let (c_local, _) =
-                ts_spgemm::<BoolAndOr>(comm, &a, &ac, &b, &TsConfig::default());
+            let (c_local, _) = ts_spgemm::<BoolAndOr>(comm, &a, &ac, &b, &TsConfig::default());
             DistCsr {
                 dist,
                 rank: comm.rank(),
@@ -557,11 +619,9 @@ mod tests {
         let volume = |policy: ModePolicy| {
             let out = World::run(4, |comm| {
                 let dist = BlockDist::new(n, 4);
-                let a =
-                    DistCsr::from_global_coo::<PlusTimesF64>(&acoo, dist, comm.rank(), n);
+                let a = DistCsr::from_global_coo::<PlusTimesF64>(&acoo, dist, comm.rank(), n);
                 let ac = ColBlocks::build::<PlusTimesF64>(comm, &a);
-                let b =
-                    DistCsr::from_global_coo::<PlusTimesF64>(&bcoo, dist, comm.rank(), d);
+                let b = DistCsr::from_global_coo::<PlusTimesF64>(&bcoo, dist, comm.rank(), d);
                 let cfg = TsConfig {
                     policy,
                     ..TsConfig::default()
@@ -590,11 +650,9 @@ mod tests {
         let peak = |factor: usize| {
             let out = World::run(8, |comm| {
                 let dist = BlockDist::new(n, 8);
-                let a =
-                    DistCsr::from_global_coo::<PlusTimesF64>(&acoo, dist, comm.rank(), n);
+                let a = DistCsr::from_global_coo::<PlusTimesF64>(&acoo, dist, comm.rank(), n);
                 let ac = ColBlocks::build::<PlusTimesF64>(comm, &a);
-                let b =
-                    DistCsr::from_global_coo::<PlusTimesF64>(&bcoo, dist, comm.rank(), d);
+                let b = DistCsr::from_global_coo::<PlusTimesF64>(&bcoo, dist, comm.rank(), d);
                 let cfg = TsConfig::default().with_width_factor(factor, dist);
                 let (_, stats) = ts_spgemm::<PlusTimesF64>(comm, &a, &ac, &b, &cfg);
                 stats.peak_transient_bytes

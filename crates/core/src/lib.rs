@@ -34,7 +34,7 @@ pub mod tiling;
 
 pub use colpart::ColBlocks;
 pub use dist::DistCsr;
-pub use exec::{ts_spgemm, TsConfig, TsLocalStats};
+pub use exec::{try_ts_spgemm, ts_spgemm, TsConfig, TsLocalStats};
 pub use mode::{ModePolicy, TileMode};
 pub use part::BlockDist;
 pub use tiling::Tiling;

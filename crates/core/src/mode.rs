@@ -61,7 +61,10 @@ pub struct Modes {
 /// Total `nnz` of the local `B` rows a sub-tile needs. Bucket entries are
 /// grouped by local column (the bucketing pass iterates columns in order),
 /// so distinct columns are found by scanning for transitions.
-fn needed_b_nnz<T: Copy, U: Copy>(bucket: &[(Idx, Idx, T)], b_local: &tsgemm_sparse::Csr<U>) -> u64 {
+fn needed_b_nnz<T: Copy, U: Copy>(
+    bucket: &[(Idx, Idx, T)],
+    b_local: &tsgemm_sparse::Csr<U>,
+) -> u64 {
     let mut needed = 0u64;
     let mut last_k: Option<Idx> = None;
     for &(_, k, _) in bucket {
@@ -188,16 +191,9 @@ mod tests {
         let acoo = erdos_renyi(n, 4.0, 3);
         let bcoo = random_tall(n, d, 0.5, 4);
         let out = World::run(4, |comm| {
-            let (tiling, buckets, b) =
-                setup(comm, n, &acoo, &bcoo, d, Tiling::default_for);
-            let modes = decide_modes::<PlusTimesF64>(
-                comm,
-                &tiling,
-                &buckets,
-                &b,
-                ModePolicy::Hybrid,
-                "t",
-            );
+            let (tiling, buckets, b) = setup(comm, n, &acoo, &bcoo, d, Tiling::default_for);
+            let modes =
+                decide_modes::<PlusTimesF64>(comm, &tiling, &buckets, &b, ModePolicy::Hybrid, "t");
             (comm.rank(), modes)
         });
         // Every (i, rb, cb) that rank j serves must appear as (rb, cb, j) at i.
@@ -232,10 +228,8 @@ mod tests {
             (ModePolicy::RemoteOnly, false, true),
         ] {
             let out = World::run(4, |comm| {
-                let (tiling, buckets, b) =
-                    setup(comm, n, &acoo, &bcoo, d, Tiling::default_for);
-                let modes =
-                    decide_modes::<PlusTimesF64>(comm, &tiling, &buckets, &b, policy, "t");
+                let (tiling, buckets, b) = setup(comm, n, &acoo, &bcoo, d, Tiling::default_for);
+                let modes = decide_modes::<PlusTimesF64>(comm, &tiling, &buckets, &b, policy, "t");
                 (modes.n_local, modes.n_remote)
             });
             let local: u64 = out.results.iter().map(|r| r.0).sum();
@@ -267,14 +261,8 @@ mod tests {
         }
         let out = World::run(2, |comm| {
             let (tiling, buckets, b) = setup(comm, n, &acoo, &bcoo, d, Tiling::default_for);
-            let modes = decide_modes::<PlusTimesF64>(
-                comm,
-                &tiling,
-                &buckets,
-                &b,
-                ModePolicy::Hybrid,
-                "t",
-            );
+            let modes =
+                decide_modes::<PlusTimesF64>(comm, &tiling, &buckets, &b, ModePolicy::Hybrid, "t");
             (comm.rank(), modes.n_remote, modes.n_local)
         });
         // Rank 0 serves the sub-tile and must have marked it remote.
@@ -298,14 +286,8 @@ mod tests {
         }
         let out = World::run(2, |comm| {
             let (tiling, buckets, b) = setup(comm, n, &acoo, &bcoo, d, Tiling::default_for);
-            let modes = decide_modes::<PlusTimesF64>(
-                comm,
-                &tiling,
-                &buckets,
-                &b,
-                ModePolicy::Hybrid,
-                "t",
-            );
+            let modes =
+                decide_modes::<PlusTimesF64>(comm, &tiling, &buckets, &b, ModePolicy::Hybrid, "t");
             (modes.n_remote, modes.n_local)
         });
         assert_eq!(out.results[0], (0, 1), "fan-out sub-tile must stay local");
@@ -319,14 +301,8 @@ mod tests {
         let bcoo = random_tall(n, d, 0.25, 6);
         let out = World::run(3, |comm| {
             let (tiling, buckets, b) = setup(comm, n, &acoo, &bcoo, d, Tiling::default_for);
-            let modes = decide_modes::<PlusTimesF64>(
-                comm,
-                &tiling,
-                &buckets,
-                &b,
-                ModePolicy::Hybrid,
-                "t",
-            );
+            let modes =
+                decide_modes::<PlusTimesF64>(comm, &tiling, &buckets, &b, ModePolicy::Hybrid, "t");
             let me = comm.rank();
             let has_self_serve = modes.serve.keys().any(|&(i, _, _)| i == me);
             let has_self_own = modes.own.keys().any(|&(_, _, j)| j == me);

@@ -153,8 +153,7 @@ mod tests {
             let dist = BlockDist::new(n, p);
             let a = DistCsr::from_global_coo::<PlusTimesF64>(acoo, dist, comm.rank(), n);
             let b = DistCsr::from_global_coo::<PlusTimesF64>(bcoo, dist, comm.rank(), d);
-            let (c, _) =
-                naive_spgemm::<PlusTimesF64>(comm, &a, &b, AccumChoice::Auto, "naive");
+            let (c, _) = naive_spgemm::<PlusTimesF64>(comm, &a, &b, AccumChoice::Auto, "naive");
             DistCsr {
                 dist,
                 rank: comm.rank(),
@@ -190,8 +189,7 @@ mod tests {
             let dist = BlockDist::new(n, 4);
             let a = DistCsr::from_global_coo::<PlusTimesF64>(&acoo, dist, comm.rank(), n);
             let b = DistCsr::from_global_coo::<PlusTimesF64>(&bcoo, dist, comm.rank(), d);
-            let (_, stats) =
-                naive_spgemm::<PlusTimesF64>(comm, &a, &b, AccumChoice::Auto, "naive");
+            let (_, stats) = naive_spgemm::<PlusTimesF64>(comm, &a, &b, AccumChoice::Auto, "naive");
             stats
         });
         let req_bytes: u64 = out

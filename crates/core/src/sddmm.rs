@@ -100,7 +100,7 @@ pub fn dist_sddmm(
         for cb in 0..tiling.n_col_bands {
             // Server role: ship the Z rows each sub-tile's columns need.
             let mut zsend: Vec<Vec<Trip<f64>>> = (0..p).map(|_| Vec::new()).collect();
-            for i in 0..p {
+            for (i, send) in zsend.iter_mut().enumerate() {
                 if i == me {
                     continue;
                 }
@@ -116,7 +116,7 @@ pub fn dist_sddmm(
                     let g_row = zcol_lo + k;
                     let (cols, vals) = z.local.row(k as usize);
                     for (&c, &v) in cols.iter().zip(vals) {
-                        zsend[i].push(Trip {
+                        send.push(Trip {
                             row: g_row,
                             col: c,
                             val: v,
@@ -202,11 +202,7 @@ mod tests {
     use tsgemm_sparse::gen::{erdos_renyi, random_tall};
     use tsgemm_sparse::{Coo, PlusTimesF64};
 
-    fn reference_sddmm(
-        s: &Csr<f64>,
-        z: &Csr<f64>,
-        f: impl Fn(f64, f64) -> f64,
-    ) -> Csr<f64> {
+    fn reference_sddmm(s: &Csr<f64>, z: &Csr<f64>, f: impl Fn(f64, f64) -> f64) -> Csr<f64> {
         let mut trips = Vec::new();
         for (r, cols, vals) in s.iter_rows() {
             for (&c, &sv) in cols.iter().zip(vals) {
@@ -252,8 +248,7 @@ mod tests {
                 }
             }
             let all = comm.allgatherv(trips, "gather:verify");
-            Coo::from_entries(n, n, all.into_iter().flatten().collect())
-                .to_csr::<PlusTimesF64>()
+            Coo::from_entries(n, n, all.into_iter().flatten().collect()).to_csr::<PlusTimesF64>()
         });
         for got in out.results {
             assert!(
@@ -288,9 +283,13 @@ mod tests {
             let s = DistCsr::from_global_coo::<PlusTimesF64>(&scoo, dist, comm.rank(), n);
             let sc = ColBlocks::build::<PlusTimesF64>(comm, &s);
             let z = DistCsr::from_global_coo::<PlusTimesF64>(&zcoo, dist, comm.rank(), 5);
-            let (o, _) =
-                dist_sddmm(comm, &s, &sc, &z, &SddmmConfig::default(), |_, d| d + 1.0);
-            (o.indptr().to_vec(), o.indices().to_vec(), s.local.indptr().to_vec(), s.local.indices().to_vec())
+            let (o, _) = dist_sddmm(comm, &s, &sc, &z, &SddmmConfig::default(), |_, d| d + 1.0);
+            (
+                o.indptr().to_vec(),
+                o.indices().to_vec(),
+                s.local.indptr().to_vec(),
+                s.local.indices().to_vec(),
+            )
         });
         for (oip, oix, sip, six) in out.results {
             assert_eq!(oip, sip, "SDDMM output must keep S's row structure");

@@ -108,9 +108,7 @@ impl<T: Copy> TileBuckets<T> {
             for (&r, &v) in rows.iter().zip(vals) {
                 let i = tiling.dist.owner(r);
                 let rb = tiling.band_of(i, r) as u32;
-                map.entry((i, rb, cb))
-                    .or_default()
-                    .push((r, k as Idx, v));
+                map.entry((i, rb, cb)).or_default().push((r, k as Idx, v));
             }
         }
         Self { map }

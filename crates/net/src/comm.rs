@@ -2,7 +2,7 @@
 //!
 //! Every rank of a group holds a [`Comm`]. Collectives must be invoked by
 //! all group members in the same order (the usual MPI contract); each
-//! message carries a `(sequence, kind)` envelope and receivers assert that
+//! message carries a `(sequence, kind)` envelope and receivers verify that
 //! envelopes match, so a mismatched collective fails loudly instead of
 //! deadlocking silently.
 //!
@@ -10,20 +10,61 @@
 //! it and handing ownership through a channel. Byte accounting uses
 //! `len * size_of::<T>()`, which corresponds to the dense wire size an MPI
 //! implementation would transfer for the same typed buffer.
+//!
+//! Every collective exists in two forms: a fallible `try_*` variant that
+//! returns a typed [`CommError`] (the form fault-tolerant callers use, and
+//! the only form that can observe injected faults), and the classic
+//! infallible wrapper that delegates and panics on error — preserving the
+//! fail-fast MPI behaviour for callers that want it. When a rank runs under
+//! [`crate::World::try_run`] with a non-empty [`crate::FaultPlan`], receives
+//! poll a shared [`crate::fault::FailureBoard`] so a dead peer surfaces as
+//! [`CommError::PeerExited`] instead of an eternal hang.
 
+use crate::fault::{CommError, FailureInfo, FaultCtx, FaultKind, ParkedPosition};
 use crate::stats::{CollKind, CollectiveRecord, GroupInfo, RankProfile};
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 use std::any::Any;
 use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Barrier};
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// How often a fault-aware receive re-checks the failure board while parked.
+const PARK_POLL: Duration = Duration::from_millis(2);
 
 struct Msg {
     src: usize,
     seq: u64,
     kind: CollKind,
+    /// Element count the sender declared for vector payloads; receivers
+    /// compare it against what actually arrived to detect truncation.
+    declared_len: Option<u64>,
     payload: Box<dyn Any + Send>,
+}
+
+/// Marker payload substituted by [`FaultKind::Corrupt`]; receivers fail the
+/// typed downcast and report [`CommError::PayloadTypeMismatch`].
+struct CorruptPayload;
+
+/// Injection effects computed at collective entry.
+struct EntryFx {
+    /// Index of this collective in the rank's global stream (0 without an
+    /// active fault context).
+    op: u64,
+    /// Modeled straggler delay to attach to this collective's record.
+    delay_secs: f64,
+    /// Payload tampering to apply to outgoing sends.
+    tamper: Option<FaultKind>,
+}
+
+impl EntryFx {
+    fn clean() -> Self {
+        Self {
+            op: 0,
+            delay_secs: 0.0,
+            tamper: None,
+        }
+    }
 }
 
 /// Shared state of one communicator group.
@@ -66,10 +107,18 @@ pub struct Comm {
     /// Out-of-order messages parked until their source is being drained.
     pending: Vec<VecDeque<Msg>>,
     profile: Arc<Mutex<RankProfile>>,
+    /// Fault-injection context; `None` outside `World::try_run` (and for
+    /// empty fault plans), which keeps every hot path exactly as fast and
+    /// as deterministic as an uninstrumented run.
+    fault: Option<FaultCtx>,
 }
 
 impl Comm {
-    pub(crate) fn new(group: Arc<GroupShared>, rank: usize, profile: Arc<Mutex<RankProfile>>) -> Self {
+    pub(crate) fn new(
+        group: Arc<GroupShared>,
+        rank: usize,
+        profile: Arc<Mutex<RankProfile>>,
+    ) -> Self {
         let size = group.info.world_ranks.len();
         Self {
             group,
@@ -78,7 +127,19 @@ impl Comm {
             split_gen: 0,
             pending: (0..size).map(|_| VecDeque::new()).collect(),
             profile,
+            fault: None,
         }
+    }
+
+    pub(crate) fn set_fault(&mut self, ctx: FaultCtx) {
+        self.fault = Some(ctx);
+    }
+
+    /// True when this communicator runs under an active fault plan. Callers
+    /// use this to decide whether defensive copies for retries are worth
+    /// making (they never are in a fault-free run).
+    pub fn fault_active(&self) -> bool {
+        self.fault.is_some()
     }
 
     /// This rank's index within the group.
@@ -125,54 +186,286 @@ impl Comm {
         s
     }
 
-    fn send_to(&self, dst: usize, seq: u64, kind: CollKind, payload: Box<dyn Any + Send>) {
-        self.group.senders[dst]
-            .send(Msg {
-                src: self.rank,
-                seq,
+    /// Consults the fault plan at collective entry. Must run **before**
+    /// [`Comm::next_seq`]: a transient failure returns without bumping the
+    /// sequence number or sending anything, so an immediate retry re-enters
+    /// in lock-step with the group.
+    fn fault_entry(&mut self, kind: CollKind, tag: &str) -> Result<EntryFx, CommError> {
+        let Some(ctx) = &self.fault else {
+            return Ok(EntryFx::clean());
+        };
+        let (op, fault) = ctx.enter_collective(tag);
+        match fault {
+            None => Ok(EntryFx {
+                op,
+                delay_secs: 0.0,
+                tamper: None,
+            }),
+            Some(FaultKind::Crash) => {
+                let at = ParkedPosition {
+                    op_index: op,
+                    seq: self.seq,
+                    kind,
+                    tag: tag.to_string(),
+                };
+                ctx.board.mark_failed(FailureInfo {
+                    world_rank: ctx.world_rank,
+                    parked: Some(at.clone()),
+                    cause: "injected rank crash".into(),
+                });
+                panic!("injected rank crash: world rank {} at {at}", ctx.world_rank);
+            }
+            Some(FaultKind::Transient) => Err(CommError::Injected {
+                rank: self.rank,
+                op_index: op,
                 kind,
-                payload,
-            })
-            .expect("peer rank hung up mid-collective");
+                tag: tag.to_string(),
+            }),
+            Some(FaultKind::Delay { secs }) => Ok(EntryFx {
+                op,
+                delay_secs: secs,
+                tamper: None,
+            }),
+            Some(t @ (FaultKind::Truncate { .. } | FaultKind::Corrupt)) => Ok(EntryFx {
+                op,
+                delay_secs: 0.0,
+                tamper: Some(t),
+            }),
+        }
+    }
+
+    /// Publishes a fatal (non-retryable) error on the failure board so
+    /// peers waiting on this rank cascade into `PeerExited` instead of
+    /// hanging, then hands the error back.
+    fn fatal(&self, err: CommError, at: ParkedPosition) -> CommError {
+        if let Some(ctx) = &self.fault {
+            ctx.board.mark_failed(FailureInfo {
+                world_rank: ctx.world_rank,
+                parked: Some(at),
+                cause: err.to_string(),
+            });
+        }
+        err
+    }
+
+    fn parked_at(&self, op: u64, seq: u64, kind: CollKind, tag: &str) -> ParkedPosition {
+        ParkedPosition {
+            op_index: op,
+            seq,
+            kind,
+            tag: tag.to_string(),
+        }
+    }
+
+    fn send_to(
+        &self,
+        dst: usize,
+        seq: u64,
+        kind: CollKind,
+        declared_len: Option<u64>,
+        payload: Box<dyn Any + Send>,
+    ) {
+        // The receiver half lives in `GroupShared`, which outlives every
+        // rank, so a send cannot fail while the run is alive; a dead peer is
+        // detected on the receive side instead.
+        let _ = self.group.senders[dst].send(Msg {
+            src: self.rank,
+            seq,
+            kind,
+            declared_len,
+            payload,
+        });
+    }
+
+    /// Sends a vector payload, applying any active tampering. Returns the
+    /// bytes the sender *intended* to move (accounting charges the declared
+    /// payload even when a fault shortens or garbles the wire data).
+    fn send_vec<T: Send + 'static>(
+        &self,
+        dst: usize,
+        seq: u64,
+        kind: CollKind,
+        data: Vec<T>,
+        tamper: &Option<FaultKind>,
+    ) -> u64 {
+        let declared = data.len() as u64;
+        let bytes = declared * std::mem::size_of::<T>() as u64;
+        match tamper {
+            Some(FaultKind::Corrupt) => {
+                self.send_to(dst, seq, kind, Some(declared), Box::new(CorruptPayload));
+            }
+            Some(FaultKind::Truncate { keep }) => {
+                let mut d = data;
+                let keep_n = ((declared as f64) * keep.clamp(0.0, 1.0)).floor() as usize;
+                d.truncate(keep_n.min(d.len()));
+                self.send_to(dst, seq, kind, Some(declared), Box::new(d));
+            }
+            _ => self.send_to(dst, seq, kind, Some(declared), Box::new(data)),
+        }
+        bytes
     }
 
     /// Receives the message for (`src`, `seq`, `kind`), parking any
-    /// out-of-order messages from other sources.
-    fn recv_from(&mut self, src: usize, seq: u64, kind: CollKind) -> Box<dyn Any + Send> {
-        if let Some(pos) = self.pending[src].front() {
-            assert_eq!(
-                (pos.seq, pos.kind),
-                (seq, kind),
-                "collective mismatch: rank {} expected {:?} #{} from {} but peer sent {:?} #{}",
-                self.rank,
-                kind,
-                seq,
-                src,
-                pos.kind,
-                pos.seq
-            );
-            return self.pending[src].pop_front().unwrap().payload;
+    /// out-of-order messages from other sources. Under an active fault
+    /// context the wait polls the failure board, so a crashed or finished
+    /// peer produces [`CommError::PeerExited`] rather than a hang.
+    fn try_recv_from(
+        &mut self,
+        src: usize,
+        seq: u64,
+        kind: CollKind,
+        tag: &str,
+        op: u64,
+    ) -> Result<Msg, CommError> {
+        if let Some(front) = self.pending[src].front() {
+            if (front.seq, front.kind) != (seq, kind) {
+                let (got_seq, got_kind) = (front.seq, front.kind);
+                let err = CommError::CollectiveMismatch {
+                    rank: self.rank,
+                    src,
+                    expected_kind: kind,
+                    expected_seq: seq,
+                    got_kind,
+                    got_seq,
+                    tag: tag.to_string(),
+                };
+                return Err(self.fatal(err, self.parked_at(op, seq, kind, tag)));
+            }
+            return Ok(self.pending[src].pop_front().unwrap());
+        }
+        if let Some(ctx) = &self.fault {
+            ctx.board
+                .set_parked(ctx.world_rank, self.parked_at(op, seq, kind, tag));
         }
         loop {
-            let msg = self.group.receivers[self.rank]
-                .recv()
-                .expect("peer rank hung up mid-collective");
+            let msg = if let Some(ctx) = &self.fault {
+                match self.group.receivers[self.rank].recv_timeout(PARK_POLL) {
+                    Ok(m) => m,
+                    Err(e) => {
+                        let src_world = self.group.info.world_ranks[src];
+                        let peer_cause = if let Some(info) = ctx.board.failure_of(src_world) {
+                            Some(info.cause)
+                        } else if ctx.board.is_done(src_world) {
+                            Some("completed without a matching collective".to_string())
+                        } else if e == RecvTimeoutError::Disconnected {
+                            Some("mailbox disconnected".to_string())
+                        } else {
+                            None
+                        };
+                        match peer_cause {
+                            Some(cause) => {
+                                let err = CommError::PeerExited {
+                                    rank: self.rank,
+                                    peer_world: src_world,
+                                    seq,
+                                    kind,
+                                    tag: tag.to_string(),
+                                    peer_cause: cause,
+                                };
+                                return Err(self.fatal(err, self.parked_at(op, seq, kind, tag)));
+                            }
+                            None => continue,
+                        }
+                    }
+                }
+            } else {
+                match self.group.receivers[self.rank].recv() {
+                    Ok(m) => m,
+                    Err(_) => {
+                        // Unreachable in practice (senders live in the shared
+                        // group state), but surface it as a typed error.
+                        return Err(CommError::PeerExited {
+                            rank: self.rank,
+                            peer_world: self.group.info.world_ranks[src],
+                            seq,
+                            kind,
+                            tag: tag.to_string(),
+                            peer_cause: "mailbox disconnected".to_string(),
+                        });
+                    }
+                }
+            };
             if msg.src == src {
-                assert_eq!(
-                    (msg.seq, msg.kind),
-                    (seq, kind),
-                    "collective mismatch: rank {} expected {:?} #{} from {} but peer sent {:?} #{}",
-                    self.rank,
-                    kind,
-                    seq,
-                    src,
-                    msg.kind,
-                    msg.seq
-                );
-                return msg.payload;
+                if (msg.seq, msg.kind) != (seq, kind) {
+                    let err = CommError::CollectiveMismatch {
+                        rank: self.rank,
+                        src,
+                        expected_kind: kind,
+                        expected_seq: seq,
+                        got_kind: msg.kind,
+                        got_seq: msg.seq,
+                        tag: tag.to_string(),
+                    };
+                    return Err(self.fatal(err, self.parked_at(op, seq, kind, tag)));
+                }
+                return Ok(msg);
             }
             let s = msg.src;
             self.pending[s].push_back(msg);
+        }
+    }
+
+    /// Unboxes a vector payload, verifying type and declared length.
+    fn downcast_vec<T: Send + 'static>(
+        &self,
+        msg: Msg,
+        kind: CollKind,
+        tag: &str,
+        op: u64,
+        seq: u64,
+    ) -> Result<Vec<T>, CommError> {
+        let src = msg.src;
+        let declared = msg.declared_len;
+        match msg.payload.downcast::<Vec<T>>() {
+            Ok(v) => {
+                if let Some(d) = declared {
+                    if v.len() as u64 != d {
+                        let err = CommError::TruncatedPayload {
+                            rank: self.rank,
+                            src,
+                            kind,
+                            tag: tag.to_string(),
+                            declared: d,
+                            got: v.len() as u64,
+                        };
+                        return Err(self.fatal(err, self.parked_at(op, seq, kind, tag)));
+                    }
+                }
+                Ok(*v)
+            }
+            Err(_) => {
+                let err = CommError::PayloadTypeMismatch {
+                    rank: self.rank,
+                    src,
+                    kind,
+                    tag: tag.to_string(),
+                };
+                Err(self.fatal(err, self.parked_at(op, seq, kind, tag)))
+            }
+        }
+    }
+
+    /// Unboxes a scalar payload, verifying the type.
+    fn downcast_scalar<T: Send + 'static>(
+        &self,
+        msg: Msg,
+        kind: CollKind,
+        tag: &str,
+        op: u64,
+        seq: u64,
+    ) -> Result<T, CommError> {
+        let src = msg.src;
+        match msg.payload.downcast::<T>() {
+            Ok(v) => Ok(*v),
+            Err(_) => {
+                let err = CommError::PayloadTypeMismatch {
+                    rank: self.rank,
+                    src,
+                    kind,
+                    tag: tag.to_string(),
+                };
+                Err(self.fatal(err, self.parked_at(op, seq, kind, tag)))
+            }
         }
     }
 
@@ -185,6 +478,7 @@ impl Comm {
         bytes_received: u64,
         recv_msgs: u32,
         uniform_bytes: u64,
+        injected_delay_secs: f64,
         entered: Instant,
     ) {
         let rec = CollectiveRecord {
@@ -196,6 +490,7 @@ impl Comm {
             recv_msgs,
             uniform_bytes,
             wait_secs: entered.elapsed().as_secs_f64(),
+            injected_delay_secs,
         };
         self.profile.lock().end_segment(rec, entered);
     }
@@ -204,15 +499,29 @@ impl Comm {
     /// the vector received from each rank (own data passes through by move).
     ///
     /// # Panics
-    /// Panics if `sends.len() != self.size()` or on collective mismatch.
-    #[allow(clippy::needless_range_loop)] // dst/src are rank ids, not slice walks
+    /// Panics if `sends.len() != self.size()` or on any [`CommError`].
     pub fn alltoallv<T: Send + 'static>(
+        &mut self,
+        sends: Vec<Vec<T>>,
+        tag: impl Into<String>,
+    ) -> Vec<Vec<T>> {
+        self.try_alltoallv(sends, tag)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Comm::alltoallv`]. On [`CommError::Injected`] no
+    /// communication happened and the collective may be retried with the
+    /// same buffers (callers must keep a copy; the originals are consumed).
+    #[allow(clippy::needless_range_loop)] // dst/src are rank ids, not slice walks
+    pub fn try_alltoallv<T: Send + 'static>(
         &mut self,
         mut sends: Vec<Vec<T>>,
         tag: impl Into<String>,
-    ) -> Vec<Vec<T>> {
+    ) -> Result<Vec<Vec<T>>, CommError> {
+        let tag = tag.into();
         assert_eq!(sends.len(), self.size(), "one send buffer per rank");
         let entered = Instant::now();
+        let fx = self.fault_entry(CollKind::AllToAllV, &tag)?;
         let seq = self.next_seq();
         let elem = std::mem::size_of::<T>() as u64;
         let mut bytes_to = Vec::with_capacity(self.size().saturating_sub(1));
@@ -221,10 +530,11 @@ impl Comm {
                 continue;
             }
             let data = std::mem::take(&mut sends[dst]);
-            if !data.is_empty() {
-                bytes_to.push((self.group.info.world_ranks[dst], data.len() as u64 * elem));
+            let bytes = data.len() as u64 * elem;
+            if bytes > 0 {
+                bytes_to.push((self.group.info.world_ranks[dst], bytes));
             }
-            self.send_to(dst, seq, CollKind::AllToAllV, Box::new(data));
+            self.send_vec(dst, seq, CollKind::AllToAllV, data, &fx.tamper);
         }
         let mut received = 0u64;
         let mut recv_msgs = 0u32;
@@ -233,10 +543,8 @@ impl Comm {
             if src == self.rank {
                 recvs.push(std::mem::take(&mut sends[src]));
             } else {
-                let payload = self.recv_from(src, seq, CollKind::AllToAllV);
-                let data = *payload
-                    .downcast::<Vec<T>>()
-                    .expect("payload type mismatch in alltoallv");
+                let msg = self.try_recv_from(src, seq, CollKind::AllToAllV, &tag, fx.op)?;
+                let data = self.downcast_vec::<T>(msg, CollKind::AllToAllV, &tag, fx.op, seq)?;
                 if !data.is_empty() {
                     recv_msgs += 1;
                 }
@@ -246,14 +554,15 @@ impl Comm {
         }
         self.record(
             CollKind::AllToAllV,
-            tag.into(),
+            tag,
             bytes_to,
             received,
             recv_msgs,
             0,
+            fx.delay_secs,
             entered,
         );
-        recvs
+        Ok(recvs)
     }
 
     /// All-gather with variable contribution sizes; returns one vector per
@@ -263,7 +572,19 @@ impl Comm {
         data: Vec<T>,
         tag: impl Into<String>,
     ) -> Vec<Vec<T>> {
+        self.try_allgatherv(data, tag)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Comm::allgatherv`].
+    pub fn try_allgatherv<T: Clone + Send + 'static>(
+        &mut self,
+        data: Vec<T>,
+        tag: impl Into<String>,
+    ) -> Result<Vec<Vec<T>>, CommError> {
+        let tag = tag.into();
         let entered = Instant::now();
+        let fx = self.fault_entry(CollKind::AllGatherV, &tag)?;
         let seq = self.next_seq();
         let elem = std::mem::size_of::<T>() as u64;
         let own_bytes = data.len() as u64 * elem;
@@ -275,7 +596,7 @@ impl Comm {
             if own_bytes > 0 {
                 bytes_to.push((self.group.info.world_ranks[dst], own_bytes));
             }
-            self.send_to(dst, seq, CollKind::AllGatherV, Box::new(data.clone()));
+            self.send_vec(dst, seq, CollKind::AllGatherV, data.clone(), &fx.tamper);
         }
         let mut received = 0u64;
         let mut out = Vec::with_capacity(self.size());
@@ -283,24 +604,23 @@ impl Comm {
             if src == self.rank {
                 out.push(data.clone());
             } else {
-                let payload = self.recv_from(src, seq, CollKind::AllGatherV);
-                let v = *payload
-                    .downcast::<Vec<T>>()
-                    .expect("payload type mismatch in allgatherv");
+                let msg = self.try_recv_from(src, seq, CollKind::AllGatherV, &tag, fx.op)?;
+                let v = self.downcast_vec::<T>(msg, CollKind::AllGatherV, &tag, fx.op, seq)?;
                 received += v.len() as u64 * elem;
                 out.push(v);
             }
         }
         self.record(
             CollKind::AllGatherV,
-            tag.into(),
+            tag,
             bytes_to,
             received,
             0,
             own_bytes,
+            fx.delay_secs,
             entered,
         );
-        out
+        Ok(out)
     }
 
     /// Broadcast from `root`. The root passes `Some(value)`, others `None`.
@@ -310,30 +630,64 @@ impl Comm {
         value: Option<T>,
         tag: impl Into<String>,
     ) -> T {
+        self.try_bcast(root, value, tag)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Comm::bcast`].
+    pub fn try_bcast<T: Clone + Send + 'static>(
+        &mut self,
+        root: usize,
+        value: Option<T>,
+        tag: impl Into<String>,
+    ) -> Result<T, CommError> {
+        let tag = tag.into();
         assert!(root < self.size(), "root out of range");
         let entered = Instant::now();
+        let fx = self.fault_entry(CollKind::Bcast, &tag)?;
         let seq = self.next_seq();
         let elem = std::mem::size_of::<T>() as u64;
         if self.rank == root {
             let v = value.expect("root must supply the broadcast value");
+            let corrupt = matches!(fx.tamper, Some(FaultKind::Corrupt));
             let mut bytes_to = Vec::with_capacity(self.size().saturating_sub(1));
             for dst in 0..self.size() {
                 if dst == root {
                     continue;
                 }
                 bytes_to.push((self.group.info.world_ranks[dst], elem));
-                self.send_to(dst, seq, CollKind::Bcast, Box::new(v.clone()));
+                if corrupt {
+                    self.send_to(dst, seq, CollKind::Bcast, None, Box::new(CorruptPayload));
+                } else {
+                    self.send_to(dst, seq, CollKind::Bcast, None, Box::new(v.clone()));
+                }
             }
-            self.record(CollKind::Bcast, tag.into(), bytes_to, 0, 0, elem, entered);
-            v
+            self.record(
+                CollKind::Bcast,
+                tag,
+                bytes_to,
+                0,
+                0,
+                elem,
+                fx.delay_secs,
+                entered,
+            );
+            Ok(v)
         } else {
             assert!(value.is_none(), "non-root must pass None");
-            let payload = self.recv_from(root, seq, CollKind::Bcast);
-            let v = *payload
-                .downcast::<T>()
-                .expect("payload type mismatch in bcast");
-            self.record(CollKind::Bcast, tag.into(), Vec::new(), elem, 0, elem, entered);
-            v
+            let msg = self.try_recv_from(root, seq, CollKind::Bcast, &tag, fx.op)?;
+            let v = self.downcast_scalar::<T>(msg, CollKind::Bcast, &tag, fx.op, seq)?;
+            self.record(
+                CollKind::Bcast,
+                tag,
+                Vec::new(),
+                elem,
+                0,
+                elem,
+                fx.delay_secs,
+                entered,
+            );
+            Ok(v)
         }
     }
 
@@ -346,8 +700,21 @@ impl Comm {
         data: Vec<T>,
         tag: impl Into<String>,
     ) -> Vec<T> {
+        self.try_bcast_vec(root, data, tag)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Comm::bcast_vec`].
+    pub fn try_bcast_vec<T: Clone + Send + 'static>(
+        &mut self,
+        root: usize,
+        data: Vec<T>,
+        tag: impl Into<String>,
+    ) -> Result<Vec<T>, CommError> {
+        let tag = tag.into();
         assert!(root < self.size(), "root out of range");
         let entered = Instant::now();
+        let fx = self.fault_entry(CollKind::Bcast, &tag)?;
         let seq = self.next_seq();
         let elem = std::mem::size_of::<T>() as u64;
         if self.rank == root {
@@ -360,18 +727,34 @@ impl Comm {
                 if bytes > 0 {
                     bytes_to.push((self.group.info.world_ranks[dst], bytes));
                 }
-                self.send_to(dst, seq, CollKind::Bcast, Box::new(data.clone()));
+                self.send_vec(dst, seq, CollKind::Bcast, data.clone(), &fx.tamper);
             }
-            self.record(CollKind::Bcast, tag.into(), bytes_to, 0, 0, bytes, entered);
-            data
+            self.record(
+                CollKind::Bcast,
+                tag,
+                bytes_to,
+                0,
+                0,
+                bytes,
+                fx.delay_secs,
+                entered,
+            );
+            Ok(data)
         } else {
-            let payload = self.recv_from(root, seq, CollKind::Bcast);
-            let v = *payload
-                .downcast::<Vec<T>>()
-                .expect("payload type mismatch in bcast_vec");
+            let msg = self.try_recv_from(root, seq, CollKind::Bcast, &tag, fx.op)?;
+            let v = self.downcast_vec::<T>(msg, CollKind::Bcast, &tag, fx.op, seq)?;
             let bytes = v.len() as u64 * elem;
-            self.record(CollKind::Bcast, tag.into(), Vec::new(), bytes, 0, bytes, entered);
-            v
+            self.record(
+                CollKind::Bcast,
+                tag,
+                Vec::new(),
+                bytes,
+                0,
+                bytes,
+                fx.delay_secs,
+                entered,
+            );
+            Ok(v)
         }
     }
 
@@ -386,26 +769,48 @@ impl Comm {
         op: impl Fn(T, T) -> T,
         tag: impl Into<String>,
     ) -> T {
+        self.try_allreduce(value, op, tag)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Comm::allreduce`].
+    pub fn try_allreduce<T: Clone + Send + 'static>(
+        &mut self,
+        value: T,
+        op: impl Fn(T, T) -> T,
+        tag: impl Into<String>,
+    ) -> Result<T, CommError> {
+        let tag = tag.into();
         let entered = Instant::now();
+        let fx = self.fault_entry(CollKind::AllReduce, &tag)?;
         let seq = self.next_seq();
         let elem = std::mem::size_of::<T>() as u64;
+        let corrupt = matches!(fx.tamper, Some(FaultKind::Corrupt));
         let mut bytes_to = Vec::with_capacity(self.size().saturating_sub(1));
         for dst in 0..self.size() {
             if dst == self.rank {
                 continue;
             }
             bytes_to.push((self.group.info.world_ranks[dst], elem));
-            self.send_to(dst, seq, CollKind::AllReduce, Box::new(value.clone()));
+            if corrupt {
+                self.send_to(
+                    dst,
+                    seq,
+                    CollKind::AllReduce,
+                    None,
+                    Box::new(CorruptPayload),
+                );
+            } else {
+                self.send_to(dst, seq, CollKind::AllReduce, None, Box::new(value.clone()));
+            }
         }
         let mut acc: Option<T> = None;
         for src in 0..self.size() {
             let v = if src == self.rank {
                 value.clone()
             } else {
-                *self
-                    .recv_from(src, seq, CollKind::AllReduce)
-                    .downcast::<T>()
-                    .expect("payload type mismatch in allreduce")
+                let msg = self.try_recv_from(src, seq, CollKind::AllReduce, &tag, fx.op)?;
+                self.downcast_scalar::<T>(msg, CollKind::AllReduce, &tag, fx.op, seq)?
             };
             acc = Some(match acc {
                 None => v,
@@ -414,14 +819,15 @@ impl Comm {
         }
         self.record(
             CollKind::AllReduce,
-            tag.into(),
+            tag,
             bytes_to,
             elem * (self.size() as u64 - 1),
             0,
             elem,
+            fx.delay_secs,
             entered,
         );
-        acc.unwrap()
+        Ok(acc.unwrap())
     }
 
     /// Gather variable-size contributions at `root`; returns `Some(vec of
@@ -432,8 +838,21 @@ impl Comm {
         root: usize,
         tag: impl Into<String>,
     ) -> Option<Vec<Vec<T>>> {
+        self.try_gatherv(data, root, tag)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Comm::gatherv`].
+    pub fn try_gatherv<T: Send + 'static>(
+        &mut self,
+        data: Vec<T>,
+        root: usize,
+        tag: impl Into<String>,
+    ) -> Result<Option<Vec<Vec<T>>>, CommError> {
+        let tag = tag.into();
         assert!(root < self.size(), "root out of range");
         let entered = Instant::now();
+        let fx = self.fault_entry(CollKind::GatherV, &tag)?;
         let seq = self.next_seq();
         let elem = std::mem::size_of::<T>() as u64;
         if self.rank == root {
@@ -444,17 +863,24 @@ impl Comm {
                     // Placeholder replaced below to keep index order.
                     out.push(Vec::new());
                 } else {
-                    let v = *self
-                        .recv_from(src, seq, CollKind::GatherV)
-                        .downcast::<Vec<T>>()
-                        .expect("payload type mismatch in gatherv");
+                    let msg = self.try_recv_from(src, seq, CollKind::GatherV, &tag, fx.op)?;
+                    let v = self.downcast_vec::<T>(msg, CollKind::GatherV, &tag, fx.op, seq)?;
                     received += v.len() as u64 * elem;
                     out.push(v);
                 }
             }
             out[root] = data;
-            self.record(CollKind::GatherV, tag.into(), Vec::new(), received, 0, 0, entered);
-            Some(out)
+            self.record(
+                CollKind::GatherV,
+                tag,
+                Vec::new(),
+                received,
+                0,
+                0,
+                fx.delay_secs,
+                entered,
+            );
+            Ok(Some(out))
         } else {
             let bytes = data.len() as u64 * elem;
             let bytes_to = if bytes > 0 {
@@ -462,23 +888,68 @@ impl Comm {
             } else {
                 Vec::new()
             };
-            self.send_to(root, seq, CollKind::GatherV, Box::new(data));
-            self.record(CollKind::GatherV, tag.into(), bytes_to, 0, 0, 0, entered);
-            None
+            self.send_vec(root, seq, CollKind::GatherV, data, &fx.tamper);
+            self.record(
+                CollKind::GatherV,
+                tag,
+                bytes_to,
+                0,
+                0,
+                0,
+                fx.delay_secs,
+                entered,
+            );
+            Ok(None)
         }
     }
 
     /// Synchronises all group members.
     pub fn barrier(&mut self, tag: impl Into<String>) {
+        self.try_barrier(tag).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Comm::barrier`]. Under an active fault plan the barrier is
+    /// message-based (a zero-byte exchange through the mailboxes) so a dead
+    /// peer is detected; a `std` barrier would block forever.
+    pub fn try_barrier(&mut self, tag: impl Into<String>) -> Result<(), CommError> {
+        let tag = tag.into();
         let entered = Instant::now();
-        let _ = self.next_seq();
-        self.group.barrier.wait();
-        self.record(CollKind::Barrier, tag.into(), Vec::new(), 0, 0, 0, entered);
+        let fx = self.fault_entry(CollKind::Barrier, &tag)?;
+        let seq = self.next_seq();
+        if self.fault.is_some() {
+            for dst in 0..self.size() {
+                if dst != self.rank {
+                    self.send_to(dst, seq, CollKind::Barrier, None, Box::new(()));
+                }
+            }
+            for src in 0..self.size() {
+                if src != self.rank {
+                    let _ = self.try_recv_from(src, seq, CollKind::Barrier, &tag, fx.op)?;
+                }
+            }
+        } else {
+            self.group.barrier.wait();
+        }
+        self.record(
+            CollKind::Barrier,
+            tag,
+            Vec::new(),
+            0,
+            0,
+            0,
+            fx.delay_secs,
+            entered,
+        );
+        Ok(())
     }
 
     /// Splits the communicator into sub-communicators: members with equal
     /// `color` form a group, ordered by `(key, parent rank)`. Mirrors
     /// `MPI_Comm_split`; used to build the SUMMA row/column/layer grids.
+    ///
+    /// Key collisions are legal (MPI semantics): ties are broken by parent
+    /// rank, so the result is always a total order. A rank may be the sole
+    /// member of its color (a singleton group of size 1).
     pub fn split(&mut self, color: usize, key: usize) -> Comm {
         // Exchange (color, key) so every member can compute all groups.
         let info = self.allgatherv(vec![(color, key, self.rank)], "comm:split");
@@ -509,7 +980,12 @@ impl Comm {
                     .or_insert_with(|| GroupShared::new(world_ranks)),
             )
         };
-        Comm::new(shared, my_new_rank, Arc::clone(&self.profile))
+        let mut sub = Comm::new(shared, my_new_rank, Arc::clone(&self.profile));
+        // A rank's splits share its fault context: the collective counter
+        // keeps running across communicators, so "crash at collective #k"
+        // means the k-th collective the rank enters anywhere.
+        sub.fault = self.fault.clone();
+        sub
     }
 }
 
@@ -586,7 +1062,9 @@ mod tests {
 
     #[test]
     fn allreduce_folds_commutatively() {
-        let out = World::run(5, |comm| comm.allreduce(comm.rank() as u64 + 1, |a, b| a + b, "t"));
+        let out = World::run(5, |comm| {
+            comm.allreduce(comm.rank() as u64 + 1, |a, b| a + b, "t")
+        });
         assert_eq!(out.results, vec![15; 5]);
     }
 
@@ -619,7 +1097,11 @@ mod tests {
             let col = comm.rank() % 2;
             let mut row_comm = comm.split(row, col);
             let ids = row_comm.allgatherv(vec![comm.rank()], "rowids");
-            (row_comm.rank(), row_comm.size(), ids.into_iter().flatten().collect::<Vec<_>>())
+            (
+                row_comm.rank(),
+                row_comm.size(),
+                ids.into_iter().flatten().collect::<Vec<_>>(),
+            )
         });
         assert_eq!(out.results[0], (0, 2, vec![0, 1]));
         assert_eq!(out.results[1], (1, 2, vec![0, 1]));
@@ -648,6 +1130,59 @@ mod tests {
         assert_eq!(out.results[0], vec![0, 2]);
         assert_eq!(out.results[1], vec![1, 3]);
         assert_eq!(out.results[2], vec![0, 2]);
+    }
+
+    #[test]
+    fn split_with_key_collisions_breaks_ties_by_parent_rank() {
+        // All four ranks pick the same color AND the same key: MPI resolves
+        // the tie by parent rank, so the group order must equal parent order.
+        let out = World::run(4, |comm| {
+            let sub = comm.split(0, 7);
+            (sub.rank(), sub.size(), sub.group_world_ranks().to_vec())
+        });
+        for (parent_rank, &(sub_rank, sub_size, ref worlds)) in out.results.iter().enumerate() {
+            assert_eq!(sub_rank, parent_rank, "tie broken by parent rank");
+            assert_eq!(sub_size, 4);
+            assert_eq!(worlds, &vec![0, 1, 2, 3]);
+        }
+    }
+
+    #[test]
+    fn split_partial_key_collisions_keep_total_order() {
+        // Ranks 0..4 use keys [5, 5, 0, 0]: collided pairs order by parent
+        // rank within the same key, and lower keys come first.
+        let out = World::run(4, |comm| {
+            let key = if comm.rank() < 2 { 5 } else { 0 };
+            let sub = comm.split(0, key);
+            (sub.rank(), sub.group_world_ranks().to_vec())
+        });
+        let expect_order = vec![2, 3, 0, 1]; // keys (0,r2), (0,r3), (5,r0), (5,r1)
+        for (parent_rank, &(sub_rank, ref worlds)) in out.results.iter().enumerate() {
+            assert_eq!(worlds, &expect_order);
+            assert_eq!(expect_order[sub_rank], parent_rank);
+        }
+    }
+
+    #[test]
+    fn split_singleton_color_groups() {
+        // Every rank takes a unique color: each becomes rank 0 of a
+        // size-1 group, and collectives on that group degenerate correctly.
+        let out = World::run(3, |comm| {
+            let mut solo = comm.split(comm.rank(), 0);
+            let sum = solo.allreduce(comm.rank() as u64 + 10, |a, b| a + b, "solo");
+            (
+                solo.rank(),
+                solo.size(),
+                sum,
+                solo.group_world_ranks().to_vec(),
+            )
+        });
+        for (rank, &(sub_rank, sub_size, sum, ref worlds)) in out.results.iter().enumerate() {
+            assert_eq!(sub_rank, 0);
+            assert_eq!(sub_size, 1);
+            assert_eq!(sum, rank as u64 + 10, "singleton allreduce is identity");
+            assert_eq!(worlds, &vec![rank]);
+        }
     }
 
     #[test]

@@ -129,57 +129,62 @@ impl CostModel {
     }
 
     /// Modeled cost of one collective as seen from the recording rank.
+    /// Injected straggler delay (from an active fault plan) is charged on
+    /// top of the α–β cost — a delayed rank delays the whole collective.
     pub fn collective_cost(&self, me_world: usize, rec: &CollectiveRecord) -> f64 {
         let g = rec.group.world_ranks.len();
         if g <= 1 {
-            return 0.0;
+            return rec.injected_delay_secs;
         }
         let log_g = (g as f64).log2().ceil().max(1.0);
         let beta_g = self.beta_group(&rec.group.world_ranks);
-        match rec.kind {
-            // MPI implementations pick the AllToAll(v) algorithm by message
-            // size (Thakur, Rabenseifner & Gropp — the paper's ref [43]):
-            //
-            // * **pairwise exchange** for long messages: one round per
-            //   active peer, latency α per non-empty pair (counts are known,
-            //   so empty pairs cost nothing), bandwidth on the larger of the
-            //   send/receive volumes;
-            // * **Bruck** for short messages: ⌈log₂ g⌉ rounds, each moving
-            //   about half of the rank's total payload.
-            //
-            // The model takes the cheaper of the two, as the MPI library
-            // would.
-            CollKind::AllToAllV => {
-                let send_cost: f64 = rec
-                    .bytes_to
-                    .iter()
-                    .map(|&(dst, bytes)| self.beta(me_world, dst) * bytes as f64)
-                    .sum();
-                let recv_cost = beta_g * rec.bytes_received as f64;
-                let msgs = rec.bytes_to.len().max(rec.recv_msgs as usize) as f64;
-                let pairwise = self.alpha * (msgs + 1.0) + send_cost.max(recv_cost);
-                let total = (rec.bytes_sent().max(rec.bytes_received)) as f64;
-                // Every byte crosses the wire at least once; Bruck forwards
-                // it ~log/2 times on top for g > 2.
-                let bruck_bytes = (0.5 * log_g).max(1.0) * total;
-                let bruck = log_g * self.alpha + beta_g * bruck_bytes;
-                pairwise.min(bruck)
+        rec.injected_delay_secs
+            + match rec.kind {
+                // MPI implementations pick the AllToAll(v) algorithm by message
+                // size (Thakur, Rabenseifner & Gropp — the paper's ref [43]):
+                //
+                // * **pairwise exchange** for long messages: one round per
+                //   active peer, latency α per non-empty pair (counts are known,
+                //   so empty pairs cost nothing), bandwidth on the larger of the
+                //   send/receive volumes;
+                // * **Bruck** for short messages: ⌈log₂ g⌉ rounds, each moving
+                //   about half of the rank's total payload.
+                //
+                // The model takes the cheaper of the two, as the MPI library
+                // would.
+                CollKind::AllToAllV => {
+                    let send_cost: f64 = rec
+                        .bytes_to
+                        .iter()
+                        .map(|&(dst, bytes)| self.beta(me_world, dst) * bytes as f64)
+                        .sum();
+                    let recv_cost = beta_g * rec.bytes_received as f64;
+                    let msgs = rec.bytes_to.len().max(rec.recv_msgs as usize) as f64;
+                    let pairwise = self.alpha * (msgs + 1.0) + send_cost.max(recv_cost);
+                    let total = (rec.bytes_sent().max(rec.bytes_received)) as f64;
+                    // Every byte crosses the wire at least once; Bruck forwards
+                    // it ~log/2 times on top for g > 2.
+                    let bruck_bytes = (0.5 * log_g).max(1.0) * total;
+                    let bruck = log_g * self.alpha + beta_g * bruck_bytes;
+                    pairwise.min(bruck)
+                }
+                // Ring allgather: g-1 rounds of α plus total foreign data.
+                CollKind::AllGatherV => {
+                    self.alpha * (g as f64 - 1.0) + beta_g * rec.bytes_received as f64
+                }
+                // Binomial tree broadcast.
+                CollKind::Bcast => log_g * (self.alpha + beta_g * rec.uniform_bytes as f64),
+                // Reduce + broadcast trees.
+                CollKind::AllReduce => {
+                    2.0 * log_g * (self.alpha + beta_g * rec.uniform_bytes as f64)
+                }
+                // Root link is the bottleneck.
+                CollKind::GatherV => {
+                    let moved = rec.bytes_received.max(rec.bytes_sent());
+                    self.alpha * (g as f64 - 1.0).min(log_g * 4.0) + beta_g * moved as f64
+                }
+                CollKind::Barrier | CollKind::Split => self.alpha * log_g,
             }
-            // Ring allgather: g-1 rounds of α plus total foreign data.
-            CollKind::AllGatherV => {
-                self.alpha * (g as f64 - 1.0) + beta_g * rec.bytes_received as f64
-            }
-            // Binomial tree broadcast.
-            CollKind::Bcast => log_g * (self.alpha + beta_g * rec.uniform_bytes as f64),
-            // Reduce + broadcast trees.
-            CollKind::AllReduce => 2.0 * log_g * (self.alpha + beta_g * rec.uniform_bytes as f64),
-            // Root link is the bottleneck.
-            CollKind::GatherV => {
-                let moved = rec.bytes_received.max(rec.bytes_sent());
-                self.alpha * (g as f64 - 1.0).min(log_g * 4.0) + beta_g * moved as f64
-            }
-            CollKind::Barrier | CollKind::Split => self.alpha * log_g,
-        }
     }
 
     /// Assembles the bulk-synchronous modeled time for a whole run.
@@ -187,11 +192,7 @@ impl CostModel {
     /// Ranks may have different segment counts (e.g. root-only branches);
     /// steps are aligned by index and missing segments cost nothing.
     pub fn model_run(&self, profiles: &[RankProfile]) -> ModeledTime {
-        let steps = profiles
-            .iter()
-            .map(|p| p.segments.len())
-            .max()
-            .unwrap_or(0);
+        let steps = profiles.iter().map(|p| p.segments.len()).max().unwrap_or(0);
         let mut compute_secs = 0.0;
         let mut comm_secs = 0.0;
         for k in 0..steps {
@@ -199,8 +200,8 @@ impl CostModel {
             let mut max_coll = 0.0f64;
             for p in profiles {
                 if let Some(seg) = p.segments.get(k) {
-                    let t = seg.flops as f64 * self.locality_penalty(seg.ws_bytes)
-                        / self.flops_per_sec;
+                    let t =
+                        seg.flops as f64 * self.locality_penalty(seg.ws_bytes) / self.flops_per_sec;
                     max_compute = max_compute.max(t);
                     if let Some(rec) = &seg.coll {
                         max_coll = max_coll.max(self.collective_cost(p.world_rank, rec));
@@ -219,11 +220,7 @@ impl CostModel {
     /// Modeled communication seconds restricted to collectives whose tag
     /// starts with `prefix` (per-phase attribution, e.g. one BFS iteration).
     pub fn comm_secs_tagged(&self, profiles: &[RankProfile], prefix: &str) -> f64 {
-        let steps = profiles
-            .iter()
-            .map(|p| p.segments.len())
-            .max()
-            .unwrap_or(0);
+        let steps = profiles.iter().map(|p| p.segments.len()).max().unwrap_or(0);
         let mut secs = 0.0;
         for k in 0..steps {
             let mut max_coll = 0.0f64;
@@ -245,11 +242,7 @@ impl CostModel {
     /// collective whose tag starts with `prefix`, plus — when `prefix` is
     /// empty — all trailing segments.
     pub fn compute_secs_tagged(&self, profiles: &[RankProfile], prefix: &str) -> f64 {
-        let steps = profiles
-            .iter()
-            .map(|p| p.segments.len())
-            .max()
-            .unwrap_or(0);
+        let steps = profiles.iter().map(|p| p.segments.len()).max().unwrap_or(0);
         let mut secs = 0.0;
         for k in 0..steps {
             let mut max_compute = 0.0f64;
@@ -303,15 +296,25 @@ mod tests {
         let expect = 4.0e6 / cm.flops_per_sec;
         assert!((t.compute_secs - expect).abs() < 1e-9, "{}", t.compute_secs);
         // Comm: 1 MB intra-node at 50 GB/s = 20 µs plus latency terms.
-        assert!(t.comm_secs > 1.9e-5 && t.comm_secs < 4.0e-5, "{}", t.comm_secs);
+        assert!(
+            t.comm_secs > 1.9e-5 && t.comm_secs < 4.0e-5,
+            "{}",
+            t.comm_secs
+        );
     }
 
     #[test]
     fn larger_volume_costs_more() {
         let run = |bytes: usize| {
             let out = World::run(2, |comm| {
-                let sends: Vec<Vec<u8>> =
-                    vec![vec![], if comm.rank() == 0 { vec![1u8; bytes] } else { vec![] }];
+                let sends: Vec<Vec<u8>> = vec![
+                    vec![],
+                    if comm.rank() == 0 {
+                        vec![1u8; bytes]
+                    } else {
+                        vec![]
+                    },
+                ];
                 let sends = if comm.rank() == 0 {
                     sends
                 } else {
@@ -348,7 +351,11 @@ mod tests {
         let out = World::run(2, |comm| {
             comm.add_flops(8_000_000);
             let s: Vec<Vec<u8>> = vec![vec![], vec![0u8; 1000]];
-            let s = if comm.rank() == 0 { s } else { vec![vec![], vec![]] };
+            let s = if comm.rank() == 0 {
+                s
+            } else {
+                vec![vec![], vec![]]
+            };
             comm.alltoallv(s, "phase-a");
             comm.add_flops(4_000_000);
             comm.barrier("phase-b");

@@ -21,13 +21,25 @@
 //! across oversubscribed thread-ranks is meaningless, but volumes are exact
 //! and the α–β model turns them into defensible scaling shapes. Harnesses
 //! report both measured and modeled numbers.
+//!
+//! The [`fault`] module adds a deterministic fault-injection layer on top:
+//! [`world::World::try_run`] executes a rank function under a [`FaultPlan`]
+//! (crashes, transient failures, payload tampering, stragglers) and returns
+//! per-rank `Result`s plus a [`HangReport`] diagnosing where every rank was
+//! parked when a run went down. Fallible `try_*` variants of every
+//! collective return typed [`CommError`]s instead of panicking.
 
 pub mod comm;
 pub mod cost;
+pub mod fault;
 pub mod stats;
 pub mod world;
 
 pub use comm::Comm;
 pub use cost::{CostModel, ModeledTime};
+pub use fault::{
+    CommError, Fault, FaultKind, FaultPlan, HangEntry, HangReport, ParkedPosition, RankFailure,
+    Trigger,
+};
 pub use stats::{CollKind, CollectiveRecord, RankProfile, Segment};
-pub use world::{RunOutput, World};
+pub use world::{RunOutput, TryRunOutput, World};

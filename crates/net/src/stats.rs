@@ -51,6 +51,9 @@ pub struct CollectiveRecord {
     /// Wall-clock seconds this rank spent inside the collective (includes
     /// waiting for peers; meaningful only relative to other measured times).
     pub wait_secs: f64,
+    /// Modeled straggler delay injected by an active fault plan (zero in
+    /// fault-free runs); priced by [`crate::CostModel::collective_cost`].
+    pub injected_delay_secs: f64,
 }
 
 impl CollectiveRecord {
@@ -205,6 +208,7 @@ mod tests {
             recv_msgs: 0,
             uniform_bytes: 0,
             wait_secs: 0.0,
+            injected_delay_secs: 0.0,
         }
     }
 

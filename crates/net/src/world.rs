@@ -1,6 +1,9 @@
 //! The run harness: launches `p` ranks as threads and collects profiles.
 
 use crate::comm::{Comm, GroupShared};
+use crate::fault::{
+    FailureBoard, FailureInfo, FaultCtx, FaultPlan, HangEntry, HangReport, RankFailure,
+};
 use crate::stats::RankProfile;
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -12,6 +15,51 @@ pub struct RunOutput<R> {
     pub results: Vec<R>,
     /// `profiles[i]` is rank `i`'s execution log.
     pub profiles: Vec<RankProfile>,
+}
+
+/// Result of a fault-aware run ([`World::try_run`]): per-rank outcomes
+/// instead of an all-or-nothing panic, plus a hang diagnosis when anything
+/// went wrong.
+pub struct TryRunOutput<R> {
+    /// `results[i]` is what rank `i` returned, or why it failed.
+    pub results: Vec<Result<R, RankFailure>>,
+    /// `profiles[i]` is rank `i`'s execution log (present even for failed
+    /// ranks, up to the point of failure).
+    pub profiles: Vec<RankProfile>,
+    /// Per-rank diagnosis — which collective sequence number and phase tag
+    /// each rank was parked on — whenever at least one rank failed.
+    pub hang_report: Option<HangReport>,
+}
+
+impl<R> TryRunOutput<R> {
+    /// True when every rank returned a result.
+    pub fn all_ok(&self) -> bool {
+        self.results.iter().all(|r| r.is_ok())
+    }
+
+    /// Unwraps into a plain [`RunOutput`]; panics (with the first failure)
+    /// if any rank failed.
+    pub fn expect_ok(self) -> RunOutput<R> {
+        let results = self
+            .results
+            .into_iter()
+            .map(|r| r.unwrap_or_else(|e| panic!("{e}")))
+            .collect();
+        RunOutput {
+            results,
+            profiles: self.profiles,
+        }
+    }
+}
+
+fn panic_cause(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "rank panicked".to_string()
+    }
 }
 
 /// Entry point to the simulated cluster.
@@ -71,6 +119,140 @@ impl World {
             .collect();
 
         RunOutput { results, profiles }
+    }
+
+    /// Fault-aware variant of [`World::run`]: runs `f` on `p` ranks under
+    /// `plan` and reports per-rank outcomes instead of panicking.
+    ///
+    /// With a non-empty plan every rank gets a fault context: receives poll a
+    /// shared [`FailureBoard`] (so a crashed peer surfaces as a typed
+    /// [`crate::CommError::PeerExited`] rather than a hang) and barriers
+    /// switch to a survivable message-based protocol. With an empty plan the
+    /// communication paths are *exactly* those of [`World::run`] — no
+    /// polling, no extra state — so results and profiles are identical to an
+    /// uninstrumented run.
+    ///
+    /// A rank that panics (including injected crashes) is caught per-rank;
+    /// its failure, and the parked positions of every rank that was waiting
+    /// on it, are collected into the [`HangReport`].
+    pub fn try_run<R, F>(p: usize, plan: &FaultPlan, f: F) -> TryRunOutput<R>
+    where
+        R: Send,
+        F: Fn(&mut Comm) -> R + Send + Sync,
+    {
+        assert!(p > 0, "need at least one rank");
+        let group = GroupShared::new((0..p).collect());
+        let profiles: Vec<Arc<Mutex<RankProfile>>> = (0..p)
+            .map(|r| Arc::new(Mutex::new(RankProfile::new(r))))
+            .collect();
+        let inject = !plan.is_empty();
+        let plan = Arc::new(plan.clone());
+        let board = FailureBoard::new();
+
+        let outcomes: Vec<Result<R, String>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..p)
+                .map(|rank| {
+                    let group = Arc::clone(&group);
+                    let profile = Arc::clone(&profiles[rank]);
+                    let plan = Arc::clone(&plan);
+                    let board = Arc::clone(&board);
+                    let f = &f;
+                    scope.spawn(move || {
+                        let mut comm = Comm::new(group, rank, Arc::clone(&profile));
+                        if inject {
+                            comm.set_fault(FaultCtx::new(plan, Arc::clone(&board), rank));
+                        }
+                        let out =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut comm)));
+                        profile.lock().finish();
+                        match out {
+                            Ok(r) => {
+                                if inject {
+                                    board.mark_done(rank);
+                                }
+                                Ok(r)
+                            }
+                            Err(payload) => {
+                                let cause = panic_cause(payload.as_ref());
+                                if inject {
+                                    // Injected crashes already marked the board
+                                    // (first cause wins); this covers user panics.
+                                    board.mark_failed(FailureInfo {
+                                        world_rank: rank,
+                                        parked: board.parked_of(rank),
+                                        cause: cause.clone(),
+                                    });
+                                }
+                                Err(cause)
+                            }
+                        }
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(r) => r,
+                    // Only reachable if profile bookkeeping itself panicked.
+                    Err(e) => Err(panic_cause(e.as_ref())),
+                })
+                .collect()
+        });
+
+        let profiles: Vec<RankProfile> = profiles
+            .into_iter()
+            .map(|arc| {
+                Arc::try_unwrap(arc)
+                    .map(|m| m.into_inner())
+                    .unwrap_or_else(|arc| arc.lock().snapshot())
+            })
+            .collect();
+
+        let results: Vec<Result<R, RankFailure>> = outcomes
+            .into_iter()
+            .enumerate()
+            .map(|(rank, out)| {
+                out.map_err(|cause| match board.failure_of(rank) {
+                    Some(info) => RankFailure {
+                        world_rank: rank,
+                        parked: info.parked,
+                        cause: info.cause,
+                    },
+                    None => RankFailure {
+                        world_rank: rank,
+                        parked: None,
+                        cause,
+                    },
+                })
+            })
+            .collect();
+
+        let hang_report = if results.iter().any(|r| r.is_err()) {
+            Some(HangReport {
+                entries: (0..p)
+                    .map(|rank| match &results[rank] {
+                        Ok(_) => HangEntry {
+                            world_rank: rank,
+                            failure: None,
+                            parked: None,
+                        },
+                        Err(fail) => HangEntry {
+                            world_rank: rank,
+                            failure: Some(fail.cause.clone()),
+                            parked: fail.parked.clone().or_else(|| board.parked_of(rank)),
+                        },
+                    })
+                    .collect(),
+            })
+        } else {
+            None
+        };
+
+        TryRunOutput {
+            results,
+            profiles,
+            hang_report,
+        }
     }
 }
 

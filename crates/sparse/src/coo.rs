@@ -86,11 +86,7 @@ impl<T: Copy> Coo<T> {
         Coo {
             nrows: self.nrows,
             ncols: self.ncols,
-            entries: self
-                .entries
-                .iter()
-                .map(|&(r, c, v)| (r, c, f(v)))
-                .collect(),
+            entries: self.entries.iter().map(|&(r, c, v)| (r, c, f(v))).collect(),
         }
     }
 

@@ -31,11 +31,7 @@ impl<T: Copy> DenseMat<T> {
     /// Panics if `data.len() != nrows * ncols`.
     pub fn from_vec(nrows: usize, ncols: usize, data: Vec<T>) -> Self {
         assert_eq!(data.len(), nrows * ncols, "dense data length mismatch");
-        Self {
-            nrows,
-            ncols,
-            data,
-        }
+        Self { nrows, ncols, data }
     }
 
     pub fn nrows(&self) -> usize {

@@ -11,7 +11,11 @@ use crate::{Csr, Idx};
 /// Structural difference: entries of `a` whose coordinate is **not** stored
 /// in `b` (values of `b` are ignored). Alg. 3 line 7.
 pub fn andnot<T: Copy, U: Copy>(a: &Csr<T>, b: &Csr<U>) -> Csr<T> {
-    assert_eq!((a.nrows(), a.ncols()), (b.nrows(), b.ncols()), "shape mismatch");
+    assert_eq!(
+        (a.nrows(), a.ncols()),
+        (b.nrows(), b.ncols()),
+        "shape mismatch"
+    );
     let mut indptr = Vec::with_capacity(a.nrows() + 1);
     indptr.push(0);
     let mut indices = Vec::new();
@@ -37,7 +41,11 @@ pub fn andnot<T: Copy, U: Copy>(a: &Csr<T>, b: &Csr<U>) -> Csr<T> {
 /// Structural union combining overlapping entries with `S::add`.
 /// Alg. 3 line 8 (`S ← S ∨ N`).
 pub fn union<S: Semiring>(a: &Csr<S::T>, b: &Csr<S::T>) -> Csr<S::T> {
-    assert_eq!((a.nrows(), a.ncols()), (b.nrows(), b.ncols()), "shape mismatch");
+    assert_eq!(
+        (a.nrows(), a.ncols()),
+        (b.nrows(), b.ncols()),
+        "shape mismatch"
+    );
     let mut indptr = Vec::with_capacity(a.nrows() + 1);
     indptr.push(0);
     let mut indices: Vec<Idx> = Vec::with_capacity(a.nnz() + b.nnz());
@@ -75,7 +83,11 @@ pub fn union<S: Semiring>(a: &Csr<S::T>, b: &Csr<S::T>) -> Csr<S::T> {
 /// Structural intersection combining matched entries with `S::mul`
 /// (element-wise masked product).
 pub fn intersect<S: Semiring>(a: &Csr<S::T>, b: &Csr<S::T>) -> Csr<S::T> {
-    assert_eq!((a.nrows(), a.ncols()), (b.nrows(), b.ncols()), "shape mismatch");
+    assert_eq!(
+        (a.nrows(), a.ncols()),
+        (b.nrows(), b.ncols()),
+        "shape mismatch"
+    );
     let mut indptr = Vec::with_capacity(a.nrows() + 1);
     indptr.push(0);
     let mut indices = Vec::new();

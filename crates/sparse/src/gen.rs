@@ -37,10 +37,7 @@ pub fn erdos_renyi(n: usize, avg_deg: f64, seed: u64) -> Coo<f64> {
     let m = (n as f64 * avg_deg).round() as usize;
     let mut edges = Vec::with_capacity(m);
     for _ in 0..m {
-        edges.push((
-            rng.random_range(0..n) as Idx,
-            rng.random_range(0..n) as Idx,
-        ));
+        edges.push((rng.random_range(0..n) as Idx, rng.random_range(0..n) as Idx));
     }
     let edges = dedup_edges(edges);
     with_values(n, edges, &mut rng)

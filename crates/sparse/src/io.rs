@@ -67,7 +67,10 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<Coo<f64>, MmError> {
     let size_line = size_line.ok_or_else(|| parse_err("missing size line"))?;
     let dims: Vec<usize> = size_line
         .split_whitespace()
-        .map(|t| t.parse().map_err(|_| parse_err(format!("bad size token {t}"))))
+        .map(|t| {
+            t.parse()
+                .map_err(|_| parse_err(format!("bad size token {t}")))
+        })
         .collect::<Result<_, _>>()?;
     if dims.len() != 3 {
         return Err(parse_err("size line must have 3 fields"));
@@ -235,15 +238,13 @@ mod tests {
         let mut buf = Vec::new();
         write_matrix_market(&mut buf, &m).unwrap();
         let back = read_matrix_market(&buf[..]).unwrap();
-        assert_eq!(
-            back.to_csr::<PlusTimesF64>(),
-            m.to_csr::<PlusTimesF64>()
-        );
+        assert_eq!(back.to_csr::<PlusTimesF64>(), m.to_csr::<PlusTimesF64>());
     }
 
     #[test]
     fn reads_pattern_and_comments() {
-        let text = "%%MatrixMarket matrix coordinate pattern general\n% a comment\n2 2 2\n1 1\n2 2\n";
+        let text =
+            "%%MatrixMarket matrix coordinate pattern general\n% a comment\n2 2 2\n1 1\n2 2\n";
         let m = read_matrix_market(text.as_bytes()).unwrap();
         assert_eq!(m.nnz(), 2);
         assert_eq!(m.entries()[0], (0, 0, 1.0));

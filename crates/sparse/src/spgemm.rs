@@ -143,11 +143,27 @@ pub fn spgemm<S: Semiring>(a: &Csr<S::T>, b: &Csr<S::T>, choice: AccumChoice) ->
     match choice.resolve(b.ncols()) {
         AccumChoice::Hash => {
             let mut acc = HashAccum::<S>::with_capacity(64);
-            spgemm_rows_into(a, b, 0..a.nrows(), &mut acc, &mut indptr, &mut indices, &mut values);
+            spgemm_rows_into(
+                a,
+                b,
+                0..a.nrows(),
+                &mut acc,
+                &mut indptr,
+                &mut indices,
+                &mut values,
+            );
         }
         _ => {
             let mut acc = Spa::<S>::new(b.ncols());
-            spgemm_rows_into(a, b, 0..a.nrows(), &mut acc, &mut indptr, &mut indices, &mut values);
+            spgemm_rows_into(
+                a,
+                b,
+                0..a.nrows(),
+                &mut acc,
+                &mut indptr,
+                &mut indices,
+                &mut values,
+            );
         }
     }
     Csr::from_parts(a.nrows(), b.ncols(), indptr, indices, values)
@@ -239,9 +255,26 @@ mod tests {
         let a = mk(
             4,
             4,
-            &[(0, 1, 1.0), (0, 3, 2.0), (1, 0, 3.0), (2, 2, 4.0), (3, 0, 5.0), (3, 3, 6.0)],
+            &[
+                (0, 1, 1.0),
+                (0, 3, 2.0),
+                (1, 0, 3.0),
+                (2, 2, 4.0),
+                (3, 0, 5.0),
+                (3, 3, 6.0),
+            ],
         );
-        let b = mk(4, 3, &[(0, 0, 1.0), (1, 2, 2.0), (2, 1, 3.0), (3, 0, 4.0), (3, 2, 5.0)]);
+        let b = mk(
+            4,
+            3,
+            &[
+                (0, 0, 1.0),
+                (1, 2, 2.0),
+                (2, 1, 3.0),
+                (3, 0, 4.0),
+                (3, 2, 5.0),
+            ],
+        );
         let c1 = spgemm::<PlusTimesF64>(&a, &b, AccumChoice::Spa);
         let c2 = spgemm::<PlusTimesF64>(&a, &b, AccumChoice::Hash);
         assert_eq!(c1, c2);
@@ -271,8 +304,28 @@ mod tests {
 
     #[test]
     fn symbolic_matches_numeric_nnz_without_cancellation() {
-        let a = mk(5, 5, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (4, 0, 1.0), (4, 4, 1.0)]);
-        let b = mk(5, 4, &[(0, 0, 1.0), (1, 1, 1.0), (2, 2, 1.0), (3, 3, 1.0), (4, 0, 1.0)]);
+        let a = mk(
+            5,
+            5,
+            &[
+                (0, 1, 1.0),
+                (1, 2, 1.0),
+                (2, 3, 1.0),
+                (4, 0, 1.0),
+                (4, 4, 1.0),
+            ],
+        );
+        let b = mk(
+            5,
+            4,
+            &[
+                (0, 0, 1.0),
+                (1, 1, 1.0),
+                (2, 2, 1.0),
+                (3, 3, 1.0),
+                (4, 0, 1.0),
+            ],
+        );
         let sym = spgemm_symbolic(&a, &b);
         let c = spgemm::<PlusTimesF64>(&a, &b, AccumChoice::Auto);
         assert_eq!(sym.nnz(), c.nnz());
@@ -307,10 +360,8 @@ mod tests {
     #[test]
     fn min_plus_shortest_hop() {
         // Two paths 0->2: direct cost 5, via 1 cost 2+2=4.
-        let a = Coo::from_entries(1, 3, vec![(0, 1, 2.0), (0, 2, 5.0)])
-            .to_csr::<MinPlusF64>();
-        let b = Coo::from_entries(3, 1, vec![(1, 0, 2.0), (2, 0, 0.0)])
-            .to_csr::<MinPlusF64>();
+        let a = Coo::from_entries(1, 3, vec![(0, 1, 2.0), (0, 2, 5.0)]).to_csr::<MinPlusF64>();
+        let b = Coo::from_entries(3, 1, vec![(1, 0, 2.0), (2, 0, 0.0)]).to_csr::<MinPlusF64>();
         let c = spgemm::<MinPlusF64>(&a, &b, AccumChoice::Auto);
         assert_eq!(c.get(0, 0), Some(4.0));
     }
@@ -336,7 +387,9 @@ mod tests {
         let b = mk(
             64,
             8,
-            &(0..64u32).map(|i| (i, i % 8, 0.5 * i as f64)).collect::<Vec<_>>(),
+            &(0..64u32)
+                .map(|i| (i, i % 8, 0.5 * i as f64))
+                .collect::<Vec<_>>(),
         );
         let seq = spgemm::<PlusTimesF64>(&a, &b, AccumChoice::Auto);
         let par = spgemm_par::<PlusTimesF64>(&a, &b, AccumChoice::Auto);

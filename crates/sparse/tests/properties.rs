@@ -12,17 +12,10 @@ use tsgemm_sparse::spmm::spmm;
 use tsgemm_sparse::{Coo, Csr, DenseMat, Idx, PlusTimesF64};
 
 /// Strategy: a random COO matrix with the given bounds.
-fn coo_strategy(
-    max_n: usize,
-    max_m: usize,
-    max_nnz: usize,
-) -> impl Strategy<Value = Coo<f64>> {
+fn coo_strategy(max_n: usize, max_m: usize, max_nnz: usize) -> impl Strategy<Value = Coo<f64>> {
     (1..=max_n, 1..=max_m).prop_flat_map(move |(n, m)| {
-        proptest::collection::vec(
-            (0..n as Idx, 0..m as Idx, -4.0f64..4.0),
-            0..=max_nnz,
-        )
-        .prop_map(move |entries| Coo::from_entries(n, m, entries))
+        proptest::collection::vec((0..n as Idx, 0..m as Idx, -4.0f64..4.0), 0..=max_nnz)
+            .prop_map(move |entries| Coo::from_entries(n, m, entries))
     })
 }
 

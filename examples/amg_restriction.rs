@@ -52,12 +52,22 @@ fn main() {
         (apg, stats)
     });
     let (ap, _) = &out.results[0];
-    println!("AP: {}x{} with {} nnz (distributed TS-SpGEMM)", ap.nrows(), ap.ncols(), ap.nnz());
+    println!(
+        "AP: {}x{} with {} nnz (distributed TS-SpGEMM)",
+        ap.nrows(),
+        ap.ncols(),
+        ap.nnz()
+    );
 
     // Coarse operator Ac = Pᵀ (AP), formed locally for verification.
     let pt = pmat.to_csr::<PlusTimesF64>().transpose();
     let ac = spgemm::<PlusTimesF64>(&pt, ap, AccumChoice::Auto);
-    println!("Ac = PᵀAP: {}x{} with {} nnz", ac.nrows(), ac.ncols(), ac.nnz());
+    println!(
+        "Ac = PᵀAP: {}x{} with {} nnz",
+        ac.nrows(),
+        ac.ncols(),
+        ac.nnz()
+    );
 
     // Sanity: the Galerkin operator of a Laplacian keeps zero row sums and
     // positive diagonals.

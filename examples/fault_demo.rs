@@ -1,0 +1,136 @@
+//! Tour of the fault-injection runtime: crash + hang report, transient
+//! retry inside TS-SpGEMM, wire truncation, straggler pricing, and
+//! checkpoint/restart of the embedding app.
+//!
+//! Run: `cargo run --release --example fault_demo`
+
+use tsgemm::apps::{sparse_embed, Checkpointer, EmbedConfig};
+use tsgemm::core::{multiply, BlockDist, ColBlocks, DistCsr, TsConfig};
+use tsgemm::net::fault::{Fault, FaultKind, Trigger};
+use tsgemm::net::{CostModel, FaultPlan, World};
+use tsgemm::sparse::gen::{erdos_renyi, random_tall, symmetrize};
+use tsgemm::sparse::PlusTimesF64;
+
+fn main() {
+    let n = 64;
+    let d = 8;
+    let p = 4;
+    let acoo = erdos_renyi(n, 5.0, 7);
+    let bcoo = random_tall(n, d, 0.5, 8);
+
+    // --- 1. Crash a rank mid-run: typed failures + hang diagnosis --------
+    println!("=== crash rank 2 at its 3rd collective ===");
+    let plan = FaultPlan::none().crash_at_op(2, 2);
+    let out = World::try_run(p, &plan, |comm| {
+        for i in 0..5 {
+            comm.allreduce(1u64, |a, b| a + b, format!("phase{i}"));
+        }
+    });
+    for (r, res) in out.results.iter().enumerate() {
+        match res {
+            Ok(_) => println!("rank {r}: ok"),
+            Err(f) => println!("rank {r}: {f}"),
+        }
+    }
+    println!("--- hang report ---\n{}", out.hang_report.unwrap());
+
+    // --- 2. Transient tile-step failure: absorbed by retry ---------------
+    println!("=== transient fault in the B-fetch of tile step 2 ===");
+    let plan = FaultPlan::none().transient_at_tag(1, "ts:bfetch", 2);
+    let out = World::try_run(p, &plan, |comm| {
+        let dist = BlockDist::new(n, p);
+        let a = DistCsr::from_global_coo::<PlusTimesF64>(&acoo, dist, comm.rank(), n);
+        let b = DistCsr::from_global_coo::<PlusTimesF64>(&bcoo, dist, comm.rank(), d);
+        let cfg = TsConfig {
+            tile_height: Some(8),
+            ..TsConfig::default()
+        };
+        let (c, stats) = multiply::<PlusTimesF64>(comm, &a, &b, &cfg);
+        (c.nnz(), stats.retries)
+    });
+    assert!(out.all_ok());
+    for (r, res) in out.results.iter().enumerate() {
+        let (nnz, retries) = res.as_ref().unwrap();
+        println!("rank {r}: C block nnz={nnz}, retries={retries}");
+    }
+
+    // --- 3. Wire damage: truncation detected by the receiver -------------
+    println!("=== truncate rank 0's first payload to half length ===");
+    let plan = FaultPlan::none().truncate_at_op(0, 0, 0.5);
+    let out = World::try_run(3, &plan, |comm| {
+        let sends: Vec<Vec<u64>> = (0..3).map(|_| vec![1, 2, 3, 4]).collect();
+        comm.alltoallv(sends, "xfer");
+    });
+    for (r, res) in out.results.iter().enumerate() {
+        match res {
+            Ok(_) => println!("rank {r}: ok"),
+            Err(f) => println!("rank {r}: {f}"),
+        }
+    }
+
+    // --- 4. Straggler: injected delay priced by the cost model -----------
+    println!("=== rank 0 is a 0.5s straggler ===");
+    let work = |plan: &FaultPlan| {
+        World::try_run(2, plan, |comm| {
+            let dist = BlockDist::new(n, 2);
+            let a = DistCsr::from_global_coo::<PlusTimesF64>(&acoo, dist, comm.rank(), n);
+            let ac = ColBlocks::build::<PlusTimesF64>(comm, &a);
+            let b = DistCsr::from_global_coo::<PlusTimesF64>(&bcoo, dist, comm.rank(), d);
+            tsgemm::core::ts_spgemm::<PlusTimesF64>(comm, &a, &ac, &b, &TsConfig::default()).1
+        })
+    };
+    let cm = CostModel::default();
+    let fast = cm.model_run(&work(&FaultPlan::none()).profiles);
+    let slow = cm.model_run(&work(&FaultPlan::none().delay_at_tag(0, "ts", 1, 0.5)).profiles);
+    println!(
+        "modeled comm: clean {:.4}s vs straggler {:.4}s",
+        fast.comm_secs, slow.comm_secs
+    );
+
+    // --- 5. Checkpoint/restart: kill the embedding, resume bit-identical --
+    println!("=== kill embedding at epoch 2, restart from checkpoint ===");
+    let g = symmetrize(&acoo);
+    let dir = std::env::temp_dir().join(format!("tsgemm-demo-{}", std::process::id()));
+    let ck = Checkpointer::new(&dir, "z");
+    let cfg = EmbedConfig {
+        d: 8,
+        epochs: 4,
+        checkpoint: Some(ck.clone()),
+        ..EmbedConfig::default()
+    };
+    let run = |cfg: EmbedConfig, plan: &FaultPlan| {
+        let g = &g;
+        World::try_run(p, plan, move |comm| {
+            let dist = BlockDist::new(n, p);
+            let a = DistCsr::from_global_coo::<PlusTimesF64>(g, dist, comm.rank(), n);
+            sparse_embed(comm, &a, &cfg).0
+        })
+    };
+    let mut kill = FaultPlan::none();
+    kill.push(Fault {
+        rank: 1,
+        trigger: Trigger::TagPrefix {
+            prefix: "embed:e2".into(),
+            occurrence: 1,
+        },
+        kind: FaultKind::Crash,
+    });
+    let killed = run(cfg.clone(), &kill);
+    println!(
+        "killed run: {} of {p} ranks failed",
+        killed.results.iter().filter(|r| r.is_err()).count()
+    );
+    let resumed = run(cfg.clone(), &FaultPlan::none());
+    let reference = run(
+        EmbedConfig {
+            checkpoint: None,
+            ..cfg
+        },
+        &FaultPlan::none(),
+    );
+    let identical = (0..p)
+        .all(|r| resumed.results[r].as_ref().unwrap() == reference.results[r].as_ref().unwrap());
+    println!("restarted run bit-identical to uninterrupted run: {identical}");
+    assert!(identical);
+    ck.clear().unwrap();
+}

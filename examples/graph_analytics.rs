@@ -8,7 +8,7 @@ use tsgemm::apps::centrality::{closeness, msbfs_levels};
 use tsgemm::apps::influence::{influence_maximization, InfluenceConfig};
 use tsgemm::core::{BlockDist, ColBlocks, DistCsr};
 use tsgemm::net::World;
-use tsgemm::sparse::gen::{init_frontier, web_like, symmetrize};
+use tsgemm::sparse::gen::{init_frontier, symmetrize, web_like};
 use tsgemm::sparse::semiring::BoolAndOr;
 
 fn main() {

@@ -47,8 +47,8 @@ fn main() {
             .iter()
             .map(|p| p.bytes_sent_tagged(&prefix))
             .sum();
-        let secs =
-            cm.comm_secs_tagged(&out.profiles, &prefix) + cm.compute_secs_tagged(&out.profiles, &prefix);
+        let secs = cm.comm_secs_tagged(&out.profiles, &prefix)
+            + cm.compute_secs_tagged(&out.profiles, &prefix);
         println!(
             "{:>4}  {:>12}  {:>10}  {:>10}  {:>9.3} ms",
             st.iter,
@@ -60,10 +60,7 @@ fn main() {
     }
 
     // Verify against a classic queue-based BFS.
-    let expected = sequential_msbfs(
-        &graph.to_csr::<BoolAndOr>(),
-        &sources,
-    );
+    let expected = sequential_msbfs(&graph.to_csr::<BoolAndOr>(), &sources);
     assert_eq!(visited, &expected, "matrix BFS must equal queue BFS");
     println!(
         "\nverified against sequential BFS: {} (vertex, source) pairs reached",

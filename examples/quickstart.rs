@@ -52,7 +52,10 @@ fn main() {
     );
     let (c, _) = &out.results[0];
     assert!(c.approx_eq(&expected, 1e-9), "verification failed");
-    println!("verified: distributed C == sequential C ({} nonzeros)", c.nnz());
+    println!(
+        "verified: distributed C == sequential C ({} nonzeros)",
+        c.nnz()
+    );
 
     // What did the run cost?
     let local: u64 = out.results.iter().map(|(_, s)| s.local_subtiles).sum();

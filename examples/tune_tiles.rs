@@ -19,9 +19,15 @@ fn main() {
     let bcoo = random_tall(n, d, 0.8, 4);
     let cm = CostModel::default();
 
-    println!("workload: {n}x{n} R-MAT (nnz {}), B {n}x{d} at 80% sparsity, p={p}", acoo.nnz());
+    println!(
+        "workload: {n}x{n} R-MAT (nnz {}), B {n}x{d} at 80% sparsity, p={p}",
+        acoo.nnz()
+    );
     println!("\n-- tile width sweep (hybrid policy) --");
-    println!("{:>8} {:>12} {:>14} {:>12}", "w/(n/p)", "peak-mem(B)", "comm-bytes", "modeled");
+    println!(
+        "{:>8} {:>12} {:>14} {:>12}",
+        "w/(n/p)", "peak-mem(B)", "comm-bytes", "modeled"
+    );
 
     for factor in [1usize, 2, 4, 8, 16] {
         let out = World::run(p, |comm| {
@@ -32,8 +38,17 @@ fn main() {
             let cfg = TsConfig::default().with_width_factor(factor, dist);
             ts_spgemm::<PlusTimesF64>(comm, &a, &ac, &b, &cfg).1
         });
-        let peak = out.results.iter().map(|s| s.peak_transient_bytes).max().unwrap();
-        let bytes: u64 = out.profiles.iter().map(|pr| pr.bytes_sent_tagged("ts:")).sum();
+        let peak = out
+            .results
+            .iter()
+            .map(|s| s.peak_transient_bytes)
+            .max()
+            .unwrap();
+        let bytes: u64 = out
+            .profiles
+            .iter()
+            .map(|pr| pr.bytes_sent_tagged("ts:"))
+            .sum();
         let t = cm.model_run(&out.profiles);
         println!(
             "{factor:>8} {peak:>12} {bytes:>14} {:>9.3} ms",
@@ -42,7 +57,11 @@ fn main() {
     }
 
     println!("\n-- mode policy comparison (w = 16 n/p) --");
-    for policy in [ModePolicy::LocalOnly, ModePolicy::RemoteOnly, ModePolicy::Hybrid] {
+    for policy in [
+        ModePolicy::LocalOnly,
+        ModePolicy::RemoteOnly,
+        ModePolicy::Hybrid,
+    ] {
         let out = World::run(p, |comm| {
             let dist = BlockDist::new(n, p);
             let a = DistCsr::from_global_coo::<PlusTimesF64>(&acoo, dist, comm.rank(), n);
@@ -54,8 +73,17 @@ fn main() {
             };
             ts_spgemm::<PlusTimesF64>(comm, &a, &ac, &b, &cfg).1
         });
-        let bytes: u64 = out.profiles.iter().map(|pr| pr.bytes_sent_tagged("ts:")).sum();
-        let stats = out.results.iter().fold(Default::default(), |acc: tsgemm::core::TsLocalStats, s| acc.merge(s));
+        let bytes: u64 = out
+            .profiles
+            .iter()
+            .map(|pr| pr.bytes_sent_tagged("ts:"))
+            .sum();
+        let stats = out
+            .results
+            .iter()
+            .fold(Default::default(), |acc: tsgemm::core::TsLocalStats, s| {
+                acc.merge(s)
+            });
         println!(
             "{policy:?}: {bytes} bytes moved; subtiles local={} remote={} diag={}",
             stats.local_subtiles, stats.remote_subtiles, stats.diag_subtiles

@@ -16,8 +16,8 @@
 use std::collections::HashMap;
 use std::process::ExitCode;
 use tsgemm::apps::mcl::{mcl, MclConfig};
-use tsgemm::apps::msbfs::{msbfs_ts, BfsConfig};
 use tsgemm::apps::motifs::triangle_count;
+use tsgemm::apps::msbfs::{msbfs_ts, BfsConfig};
 use tsgemm::core::{ts_spgemm, BlockDist, ColBlocks, DistCsr, TsConfig};
 use tsgemm::net::{CostModel, World};
 use tsgemm::sparse::gen;
@@ -208,10 +208,7 @@ fn cmd_multiply(flags: &HashMap<String, String>) -> Result<(), String> {
                 }
                 println!("verified against sequential multiply: OK");
             }
-            (
-                out.results.iter().map(|r| r.0).sum::<u64>(),
-                out.profiles,
-            )
+            (out.results.iter().map(|r| r.0).sum::<u64>(), out.profiles)
         }
         "summa2d" => {
             let out = World::run(p, |comm| {
@@ -265,7 +262,11 @@ fn cmd_bfs(flags: &HashMap<String, String>) -> Result<(), String> {
     });
     let visited: u64 = out.results.iter().map(|r| r.0).sum();
     let stats = &out.results[0].1;
-    println!("graph: {n} vertices, {} edges; {} sources; p={p}", acoo.nnz(), sources.len());
+    println!(
+        "graph: {n} vertices, {} edges; {} sources; p={p}",
+        acoo.nnz(),
+        sources.len()
+    );
     println!("iterations: {}", stats.len());
     for st in stats {
         println!(

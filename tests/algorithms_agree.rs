@@ -141,14 +141,23 @@ fn all_five_algorithms_agree_on_one_workload() {
 
         let (ts, _) = ts_spgemm::<PlusTimesF64>(comm, &a, &ac, &b, &TsConfig::default());
         let (petsc, _) = naive_spgemm::<PlusTimesF64>(comm, &a, &b, AccumChoice::Auto, "pe");
-        let (spmm_c, _) = dist_spmm::<PlusTimesF64>(comm, &a, &ac, &b_dense, &SpmmConfig::default());
+        let (spmm_c, _) =
+            dist_spmm::<PlusTimesF64>(comm, &a, &ac, &b_dense, &SpmmConfig::default());
         let (shift_c, _) = shift_spmm::<PlusTimesF64>(comm, &a, &b_dense, "sh");
         let s2 = summa2d::<PlusTimesF64>(comm, &acoo, &bcoo, AccumChoice::Auto, "s2");
 
-        let ts_g = DistCsr { dist, rank: comm.rank(), local: ts }
-            .gather_global::<PlusTimesF64>(comm);
-        let pe_g = DistCsr { dist, rank: comm.rank(), local: petsc }
-            .gather_global::<PlusTimesF64>(comm);
+        let ts_g = DistCsr {
+            dist,
+            rank: comm.rank(),
+            local: ts,
+        }
+        .gather_global::<PlusTimesF64>(comm);
+        let pe_g = DistCsr {
+            dist,
+            rank: comm.rank(),
+            local: petsc,
+        }
+        .gather_global::<PlusTimesF64>(comm);
         let s2_g = gather_blocks::<PlusTimesF64>(comm, &s2, n, d);
         (ts_g, pe_g, s2_g, spmm_c, shift_c, dist.range(comm.rank()))
     });
@@ -160,8 +169,14 @@ fn all_five_algorithms_agree_on_one_workload() {
         for g in lo..hi {
             for j in 0..d {
                 let want = dense_expected.get(g as usize, j);
-                assert!((spmm_c.get((g - lo) as usize, j) - want).abs() < 1e-9, "tiled SpMM");
-                assert!((shift_c.get((g - lo) as usize, j) - want).abs() < 1e-9, "shift SpMM");
+                assert!(
+                    (spmm_c.get((g - lo) as usize, j) - want).abs() < 1e-9,
+                    "tiled SpMM"
+                );
+                assert!(
+                    (shift_c.get((g - lo) as usize, j) - want).abs() < 1e-9,
+                    "shift SpMM"
+                );
             }
         }
     }

@@ -92,8 +92,12 @@ fn bfs_visits_exactly_the_reachable_sets() {
         let a = DistCsr::from_global_coo::<BoolAndOr>(&coo, dist, comm.rank(), n);
         let ac = ColBlocks::build::<BoolAndOr>(comm, &a);
         let (s, stats) = msbfs_ts(comm, &a, &ac, &sources, &BfsConfig::default());
-        let sg = DistCsr { dist, rank: comm.rank(), local: s }
-            .gather_global::<BoolAndOr>(comm);
+        let sg = DistCsr {
+            dist,
+            rank: comm.rank(),
+            local: s,
+        }
+        .gather_global::<BoolAndOr>(comm);
         (sg, stats)
     });
     let (s, stats) = &out.results[0];
@@ -134,9 +138,16 @@ fn embedding_end_to_end_beats_random_on_communities() {
             ..EmbedConfig::default()
         };
         let (z, _) = sparse_embed(comm, &a, &cfg);
-        DistCsr { dist, rank: comm.rank(), local: z }
-            .gather_global::<PlusTimesF64>(comm)
+        DistCsr {
+            dist,
+            rank: comm.rank(),
+            local: z,
+        }
+        .gather_global::<PlusTimesF64>(comm)
     });
     let auc = link_prediction_auc(&out.results[0], &full, &test, 93);
-    assert!(auc > 0.6, "trained embedding must beat chance clearly, got {auc}");
+    assert!(
+        auc > 0.6,
+        "trained embedding must beat chance clearly, got {auc}"
+    );
 }
