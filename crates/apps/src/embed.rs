@@ -112,6 +112,39 @@ pub struct EmbedEpochStats {
     pub z_nnz: u64,
 }
 
+impl EmbedEpochStats {
+    /// Lowers into the registry namespace under `{phase}:e{epoch}`.
+    pub fn registry(&self, phase: &str) -> tsgemm_net::MetricsRegistry {
+        let mut m = tsgemm_net::MetricsRegistry::new();
+        let p = format!("{phase}:e{}", self.epoch);
+        m.counter_add(&p, "local_subtiles", self.local_subtiles);
+        m.counter_add(&p, "remote_subtiles", self.remote_subtiles);
+        m.counter_add(&p, "z_nnz", self.z_nnz);
+        m
+    }
+}
+
+impl tsgemm_net::Metrics for EmbedEpochStats {
+    /// Cross-rank merge of the *same* epoch: sub-tile counts and block nnz
+    /// sum to their global totals.
+    fn merge(&mut self, other: &Self) {
+        let EmbedEpochStats {
+            epoch,
+            local_subtiles,
+            remote_subtiles,
+            z_nnz,
+        } = *other;
+        self.epoch = self.epoch.max(epoch);
+        self.local_subtiles += local_subtiles;
+        self.remote_subtiles += remote_subtiles;
+        self.z_nnz += z_nnz;
+    }
+
+    fn snapshot(&self) -> tsgemm_net::MetricsRegistry {
+        self.registry("embed")
+    }
+}
+
 fn normalize_rows(z: &Csr<f64>) -> Csr<f64> {
     let mut scale = vec![1.0f64; z.nrows()];
     for (r, _, vals) in z.iter_rows() {
@@ -265,6 +298,10 @@ pub fn sparse_embed(
             z = normalize_rows(&sparsify_to(&z, cfg.target_sparsity));
         }
         ep.z_nnz = z.nnz() as u64;
+        if comm.trace_on() {
+            use tsgemm_net::Metrics;
+            comm.metrics(|m| m.merge(&ep.registry(&cfg.tag)));
+        }
         if let Some(ck) = &cfg.checkpoint {
             ck.save(me, epoch, &z)
                 .unwrap_or_else(|e| panic!("rank {me}: checkpoint write failed: {e}"));

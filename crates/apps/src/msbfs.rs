@@ -58,6 +58,41 @@ pub struct BfsIterStats {
     pub used_spmm: bool,
 }
 
+impl BfsIterStats {
+    /// Lowers into the registry namespace under `{phase}:i{iter}`. The nnz
+    /// counts are already global (AllReduced), so they become gauges —
+    /// max-merging across ranks keeps the single global value.
+    pub fn registry(&self, phase: &str) -> tsgemm_net::MetricsRegistry {
+        let mut m = tsgemm_net::MetricsRegistry::new();
+        let p = format!("{phase}:i{}", self.iter);
+        m.gauge_max(&p, "frontier_nnz", self.frontier_nnz as f64);
+        m.gauge_max(&p, "discovered_nnz", self.discovered_nnz as f64);
+        m.gauge_max(&p, "used_spmm", self.used_spmm as u64 as f64);
+        m
+    }
+}
+
+impl tsgemm_net::Metrics for BfsIterStats {
+    /// Cross-rank merge of the *same* iteration: all fields are globally
+    /// agreed values, so merging takes the max (= the shared value).
+    fn merge(&mut self, other: &Self) {
+        let BfsIterStats {
+            iter,
+            frontier_nnz,
+            discovered_nnz,
+            used_spmm,
+        } = *other;
+        self.iter = self.iter.max(iter);
+        self.frontier_nnz = self.frontier_nnz.max(frontier_nnz);
+        self.discovered_nnz = self.discovered_nnz.max(discovered_nnz);
+        self.used_spmm |= used_spmm;
+    }
+
+    fn snapshot(&self) -> tsgemm_net::MetricsRegistry {
+        self.registry("bfs")
+    }
+}
+
 /// Builds the initial frontier block for this rank: one `true` per column
 /// at the source vertex (Alg. 3 line 2).
 pub fn init_frontier_block(dist: BlockDist, rank: usize, sources: &[Idx]) -> DistCsr<bool> {
@@ -143,12 +178,17 @@ pub fn msbfs_ts(
         let discovered_nnz =
             comm.allreduce(discovered, |a, b| a + b, format!("{base}:i{iter}:disc"));
 
-        stats.push(BfsIterStats {
+        let iter_stats = BfsIterStats {
             iter,
             frontier_nnz,
             discovered_nnz,
             used_spmm: use_spmm,
-        });
+        };
+        if comm.trace_on() {
+            use tsgemm_net::Metrics;
+            comm.metrics(|m| m.merge(&iter_stats.registry(&base)));
+        }
+        stats.push(iter_stats);
         frontier_nnz = next_frontier;
     }
 

@@ -7,7 +7,7 @@
 //! the 1.5D dense shifting algorithm").
 
 use tsgemm_core::dist::DistCsr;
-use tsgemm_net::Comm;
+use tsgemm_net::{Comm, Metrics, MetricsRegistry};
 use tsgemm_sparse::semiring::Semiring;
 use tsgemm_sparse::DenseMat;
 
@@ -16,6 +16,28 @@ use tsgemm_sparse::DenseMat;
 pub struct ShiftStats {
     pub flops: u64,
     pub stages: u64,
+}
+
+impl ShiftStats {
+    /// Lowers into the registry namespace under `phase`.
+    pub fn registry(&self, phase: &str) -> MetricsRegistry {
+        let mut m = MetricsRegistry::new();
+        m.counter_add(phase, "flops", self.flops);
+        m.gauge_max(phase, "stages", self.stages as f64);
+        m
+    }
+}
+
+impl Metrics for ShiftStats {
+    fn merge(&mut self, other: &Self) {
+        let ShiftStats { flops, stages } = *other;
+        self.flops += flops;
+        self.stages = self.stages.max(stages);
+    }
+
+    fn snapshot(&self) -> MetricsRegistry {
+        self.registry("shift")
+    }
 }
 
 /// Runs the ring-shift SpMM; returns this rank's dense `C` rows.
@@ -75,13 +97,14 @@ pub fn shift_spmm<S: Semiring>(
 
     // Charge flops at the dense-kernel rate (same convention as dist_spmm).
     comm.add_flops(flops / tsgemm_core::spmm::DENSE_FLOP_DISCOUNT.max(1));
-    (
-        c,
-        ShiftStats {
-            flops,
-            stages: p as u64,
-        },
-    )
+    let stats = ShiftStats {
+        flops,
+        stages: p as u64,
+    };
+    if comm.trace_on() {
+        comm.metrics(|m| m.merge(&stats.registry(tag)));
+    }
+    (c, stats)
 }
 
 #[cfg(test)]

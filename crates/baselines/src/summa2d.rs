@@ -11,7 +11,7 @@
 use std::ops::Range;
 use tsgemm_core::part::BlockDist;
 use tsgemm_core::tiling::csr_from_unique_triplets;
-use tsgemm_net::Comm;
+use tsgemm_net::{Comm, Metrics, MetricsRegistry};
 use tsgemm_sparse::semiring::Semiring;
 use tsgemm_sparse::spgemm::{spgemm, spgemm_flops, AccumChoice};
 use tsgemm_sparse::{Coo, Csr, Idx};
@@ -23,6 +23,28 @@ use crate::grid::Grid2d;
 pub struct SummaStats {
     pub flops: u64,
     pub stages: u64,
+}
+
+impl SummaStats {
+    /// Lowers into the registry namespace under `phase`.
+    pub fn registry(&self, phase: &str) -> MetricsRegistry {
+        let mut m = MetricsRegistry::new();
+        m.counter_add(phase, "flops", self.flops);
+        m.gauge_max(phase, "stages", self.stages as f64);
+        m
+    }
+}
+
+impl Metrics for SummaStats {
+    fn merge(&mut self, other: &Self) {
+        let SummaStats { flops, stages } = *other;
+        self.flops += flops;
+        self.stages = self.stages.max(stages);
+    }
+
+    fn snapshot(&self) -> MetricsRegistry {
+        self.registry("summa")
+    }
 }
 
 /// One rank's result: its `C` block plus the global coordinates it covers.
@@ -167,6 +189,7 @@ pub fn summa2d<S: Semiring>(
     let a_block = extract_block::<S>(acoo, rlo..rhi, clo..chi);
     let b_block = extract_block::<S>(bcoo, rlo..rhi, dlo..dhi);
 
+    let stages_start = comm.trace_on().then(std::time::Instant::now);
     let (c_trips, flops) = summa_stages::<S>(
         &mut grid,
         &a_block,
@@ -177,7 +200,18 @@ pub fn summa2d<S: Semiring>(
         accum,
         tag,
     );
+    if let Some(t) = stages_start {
+        comm.record_span(format!("{tag}:stages"), t);
+    }
     comm.add_flops(flops);
+
+    let stats = SummaStats {
+        flops,
+        stages: g as u64,
+    };
+    if comm.trace_on() {
+        comm.metrics(|m| m.merge(&stats.registry(tag)));
+    }
 
     let c_block =
         Coo::from_entries((rhi - rlo) as usize, (dhi - dlo) as usize, c_trips).to_csr::<S>();
@@ -185,10 +219,7 @@ pub fn summa2d<S: Semiring>(
         c_block,
         rows: rlo..rhi,
         cols: dlo..dhi,
-        stats: SummaStats {
-            flops,
-            stages: g as u64,
-        },
+        stats,
     }
 }
 

@@ -122,15 +122,21 @@ pub fn summa3d<S: Semiring>(
     )
     .to_csr::<S>();
 
+    let stats = SummaStats {
+        flops,
+        stages: g as u64,
+    };
+    if comm.trace_on() {
+        use tsgemm_net::Metrics;
+        comm.metrics(|m| m.merge(&stats.registry(tag)));
+    }
+
     Summa3dOut {
         c_block,
         rows: rlo..rhi,
         cols: dlo..dhi,
         layer,
-        stats: SummaStats {
-            flops,
-            stages: g as u64,
-        },
+        stats,
     }
 }
 

@@ -7,7 +7,9 @@
 //! fewer communication rounds amortise latency, flattening near `w = 16·n/p`
 //! (the Table IV default).
 
-use tsgemm_bench::{dataset, env_usize, fmt_bytes, fmt_secs, run_algo, Algo, Report};
+use tsgemm_bench::{
+    dataset, env_usize, fmt_bytes, fmt_secs, run_algo_traced, trace_config, Algo, Report, TraceOut,
+};
 use tsgemm_core::mode::ModePolicy;
 use tsgemm_net::CostModel;
 use tsgemm_sparse::gen::random_tall;
@@ -17,6 +19,7 @@ fn main() {
     let d = env_usize("TSGEMM_D", 128);
     let sparsity = 0.8;
     let cm = CostModel::default();
+    let trace_out = TraceOut::from_args("fig05_tile_width");
 
     let mut mem = Report::new(
         format!("Fig 5a: peak transient memory vs tile width (p={p}, d={d}, 80% sparse B)"),
@@ -38,7 +41,11 @@ fn main() {
                 tile_width_factor: Some(factor),
                 tile_height: None,
             };
-            let m = run_algo(&algo, p, &ds.graph, &b, &cm);
+            let (m, trace) =
+                run_algo_traced(&algo, p, &ds.graph, &b, &cm, trace_config(&trace_out));
+            if let Some(out) = &trace_out {
+                out.dump(&format!("{alias}-w{factor}x"), &trace).unwrap();
+            }
             mem.push(
                 format!("{alias} w={factor}x"),
                 vec![

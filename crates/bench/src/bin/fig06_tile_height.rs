@@ -5,7 +5,9 @@
 //! transfer no more than the pure local mode, with the gap widening for
 //! short tiles — the minibatch regime where remote tiles pay off (§IV-B).
 
-use tsgemm_bench::{dataset, env_usize, fmt_bytes, run_algo, Algo, Report};
+use tsgemm_bench::{
+    dataset, env_usize, fmt_bytes, run_algo_traced, trace_config, Algo, Report, TraceOut,
+};
 use tsgemm_core::mode::ModePolicy;
 use tsgemm_net::CostModel;
 use tsgemm_sparse::gen::random_tall;
@@ -14,6 +16,7 @@ fn main() {
     let p = env_usize("TSGEMM_P", 64);
     let d = env_usize("TSGEMM_D", 128);
     let cm = CostModel::default();
+    let trace_out = TraceOut::from_args("fig06_tile_height");
     let ds = dataset("gap");
     let b = random_tall(ds.n, d, 0.8, 0xF06);
     let block = ds.n.div_ceil(p).max(1);
@@ -38,7 +41,12 @@ fn main() {
                 tile_width_factor: Some(16),
                 tile_height: Some(h),
             };
-            run_algo(&algo, p, &ds.graph, &b, &cm).comm_bytes
+            let (m, trace) =
+                run_algo_traced(&algo, p, &ds.graph, &b, &cm, trace_config(&trace_out));
+            if let Some(out) = &trace_out {
+                out.dump(&format!("h{h}-{policy:?}"), &trace).unwrap();
+            }
+            m.comm_bytes
         };
         let hybrid = run(ModePolicy::Hybrid);
         let local = run(ModePolicy::LocalOnly);

@@ -8,7 +8,10 @@
 //! an index+value sparse entry costs 16 bytes vs 8 bytes per dense value,
 //! so sparse wins once fewer than half the entries are stored (§V-C).
 
-use tsgemm_bench::{dataset, env_usize, fmt_bytes, fmt_secs, run_algo, Algo, Report};
+use tsgemm_bench::{
+    dataset, env_usize, fmt_bytes, fmt_secs, run_algo, run_algo_traced, trace_config, Algo, Report,
+    TraceOut,
+};
 use tsgemm_net::CostModel;
 use tsgemm_sparse::gen::random_tall;
 
@@ -16,6 +19,7 @@ fn main() {
     let p = env_usize("TSGEMM_P", 64);
     let d = env_usize("TSGEMM_D", 128);
     let cm = CostModel::default();
+    let trace_out = TraceOut::from_args("fig07_spgemm_vs_spmm");
     let ds = dataset("uk");
 
     let mut vol = Report::new(
@@ -37,7 +41,11 @@ fn main() {
     for s_pct in [0, 10, 25, 40, 50, 60, 75, 90, 99] {
         let s = s_pct as f64 / 100.0;
         let b = random_tall(ds.n, d, s, 0xF07);
-        let spgemm = run_algo(&Algo::ts(), p, &ds.graph, &b, &cm);
+        let (spgemm, sp_trace) =
+            run_algo_traced(&Algo::ts(), p, &ds.graph, &b, &cm, trace_config(&trace_out));
+        if let Some(out) = &trace_out {
+            out.dump(&format!("s{s_pct}-spgemm"), &sp_trace).unwrap();
+        }
         let spmm = run_algo(&Algo::SpmmTiled, p, &ds.graph, &b, &cm);
         let shift = run_algo(&Algo::Shift, p, &ds.graph, &b, &cm);
         vol.push(

@@ -8,7 +8,7 @@
 //! speedups on the sparse tails (paper: up to ~10x, ~5x on average).
 
 use tsgemm_apps::msbfs::{msbfs_summa2d, msbfs_ts, BfsConfig};
-use tsgemm_bench::{dataset, env_usize, fmt_bytes, fmt_secs, Report};
+use tsgemm_bench::{dataset, env_usize, fmt_bytes, fmt_secs, trace_config, Report, TraceOut};
 use tsgemm_core::colpart::ColBlocks;
 use tsgemm_core::dist::DistCsr;
 use tsgemm_core::part::BlockDist;
@@ -26,6 +26,7 @@ fn main() {
     let p = env_usize("TSGEMM_P", 64);
     let n_sources = env_usize("TSGEMM_SOURCES", 128);
     let cm = CostModel::default();
+    let trace_out = TraceOut::from_args("fig12_msbfs");
 
     for alias in ["uk", "arabic", "it", "gap"] {
         let ds = dataset(alias);
@@ -33,16 +34,26 @@ fn main() {
         let (_, sources) = init_frontier(ds.n, n_sources.min(ds.n), 0xF12);
 
         // TS-SpGEMM backend.
-        let ts_out = World::run(p, |comm| {
+        let ts_out = World::run_traced(p, trace_config(&trace_out), |comm| {
             let dist = BlockDist::new(ds.n, p);
             let a = DistCsr::from_global_coo::<BoolAndOr>(&acoo, dist, comm.rank(), ds.n);
             let ac = ColBlocks::build::<BoolAndOr>(comm, &a);
             msbfs_ts(comm, &a, &ac, &sources, &BfsConfig::default()).1
         });
         // SUMMA-2D backend (CombBLAS formulation).
-        let su_out = World::run(p, |comm| {
+        let su_out = World::run_traced(p, trace_config(&trace_out), |comm| {
             msbfs_summa2d(comm, &acoo, &sources, 1000, "bfs2d").3
         });
+        if let Some(out) = &trace_out {
+            out.dump_parts(&format!("{alias}-ts"), &ts_out.profiles, &ts_out.metrics)
+                .unwrap();
+            out.dump_parts(
+                &format!("{alias}-summa2d"),
+                &su_out.profiles,
+                &su_out.metrics,
+            )
+            .unwrap();
+        }
 
         let ts_stats = &ts_out.results[0];
         let su_stats = &su_out.results[0];

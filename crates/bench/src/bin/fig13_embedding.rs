@@ -10,7 +10,7 @@
 
 use tsgemm_apps::embed::{sparse_embed, EmbedConfig};
 use tsgemm_apps::linkpred::{link_prediction_auc, split_edges};
-use tsgemm_bench::{env_usize, fmt_bytes, fmt_secs, ml_dataset, Report};
+use tsgemm_bench::{env_usize, fmt_bytes, fmt_secs, ml_dataset, trace_config, Report, TraceOut};
 use tsgemm_core::dist::DistCsr;
 use tsgemm_core::part::BlockDist;
 use tsgemm_net::{CostModel, World};
@@ -21,6 +21,7 @@ fn main() {
     let d = env_usize("TSGEMM_D", 128);
     let epochs = env_usize("TSGEMM_EPOCHS", 16);
     let cm = CostModel::default();
+    let trace_out = TraceOut::from_args("fig13_embedding");
 
     for alias in ["citeseer", "cora", "flicker", "pubmed"] {
         let (ds, _) = ml_dataset(alias);
@@ -40,7 +41,7 @@ fn main() {
 
         for s_pct in [0, 40, 60, 80, 90] {
             let sparsity = s_pct as f64 / 100.0;
-            let out = World::run(p, |comm| {
+            let out = World::run_traced(p, trace_config(&trace_out), |comm| {
                 let dist = BlockDist::new(ds.n, p);
                 let a = DistCsr::from_global_coo::<PlusTimesF64>(&train, dist, comm.rank(), ds.n);
                 // lr raised above the Table IV value: the simplified
@@ -62,6 +63,10 @@ fn main() {
                 };
                 (zd.gather_global::<PlusTimesF64>(comm), stats)
             });
+            if let Some(tout) = &trace_out {
+                tout.dump_parts(&format!("{alias}-s{s_pct}"), &out.profiles, &out.metrics)
+                    .unwrap();
+            }
             let (z, stats) = &out.results[0];
             let auc = link_prediction_auc(z, &full, &test, 0xF14);
             let bytes: u64 = out

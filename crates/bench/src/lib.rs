@@ -17,10 +17,12 @@ pub mod datasets;
 pub mod report;
 pub mod runners;
 pub mod scaling;
+pub mod traceout;
 
 pub use datasets::{dataset, ml_dataset, Dataset};
 pub use report::{fmt_bytes, fmt_secs, Report, Row};
-pub use runners::{run_algo, Algo, RunMetrics};
+pub use runners::{run_algo, run_algo_traced, Algo, RunMetrics, RunTrace};
+pub use traceout::{trace_config, TraceOut};
 
 /// Reads a `usize` parameter from the environment with a default — every
 /// harness accepts `TSGEMM_P` (ranks) and `TSGEMM_SCALE` (graph size) so

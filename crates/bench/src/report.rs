@@ -92,7 +92,9 @@ impl Report {
     }
 }
 
-fn results_dir() -> PathBuf {
+/// The shared `results/` output directory (workspace root when run via
+/// cargo, else the current directory).
+pub fn results_dir() -> PathBuf {
     // Prefer the workspace root (two levels up from the bench crate's
     // manifest when run via cargo), else ./results.
     if let Ok(m) = std::env::var("CARGO_MANIFEST_DIR") {

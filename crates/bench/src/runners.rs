@@ -18,7 +18,7 @@ use tsgemm_core::mode::ModePolicy;
 use tsgemm_core::naive::naive_spgemm;
 use tsgemm_core::part::BlockDist;
 use tsgemm_core::spmm::{dist_spmm, SpmmConfig};
-use tsgemm_net::{CostModel, World};
+use tsgemm_net::{CostModel, MetricsRegistry, RankProfile, TraceConfig, World};
 use tsgemm_sparse::semiring::PlusTimesF64;
 use tsgemm_sparse::spgemm::AccumChoice;
 use tsgemm_sparse::{Coo, DenseMat};
@@ -98,6 +98,13 @@ impl RunMetrics {
     }
 }
 
+/// The raw observability record of one traced run: the per-rank execution
+/// profiles (for the Chrome-trace export) and metrics registries.
+pub struct RunTrace {
+    pub profiles: Vec<RankProfile>,
+    pub metrics: Vec<MetricsRegistry>,
+}
+
 /// Runs `algo` on `p` ranks multiplying `acoo · bcoo` and distils metrics.
 /// `cm` is the machine model used to convert volumes into modeled time.
 pub fn run_algo(
@@ -107,6 +114,20 @@ pub fn run_algo(
     bcoo: &Coo<f64>,
     cm: &CostModel,
 ) -> RunMetrics {
+    run_algo_traced(algo, p, acoo, bcoo, cm, TraceConfig::disabled()).0
+}
+
+/// [`run_algo`] with the trace switch exposed: when `trace` is enabled the
+/// returned [`RunTrace`] carries phase spans and algorithm counters suitable
+/// for [`tsgemm_net::write_trace_files`].
+pub fn run_algo_traced(
+    algo: &Algo,
+    p: usize,
+    acoo: &Coo<f64>,
+    bcoo: &Coo<f64>,
+    cm: &CostModel,
+    trace: TraceConfig,
+) -> (RunMetrics, RunTrace) {
     let n = acoo.nrows();
     let d = bcoo.ncols();
     let tag = "alg";
@@ -119,7 +140,7 @@ pub fn run_algo(
     let take_a = |rank: usize| std::mem::take(&mut a_parts.lock()[rank]);
     let take_b = |rank: usize| std::mem::take(&mut b_parts.lock()[rank]);
 
-    let out = World::run(p, |comm| {
+    let out = World::run_traced(p, trace, |comm| {
         let dist = BlockDist::new(n, p);
         match algo {
             Algo::Ts {
@@ -275,7 +296,13 @@ pub fn run_algo(
         m.subtiles.1 += st.remote_subtiles;
         m.subtiles.2 += st.diag_subtiles;
     }
-    m
+    (
+        m,
+        RunTrace {
+            profiles: out.profiles,
+            metrics: out.metrics,
+        },
+    )
 }
 
 #[cfg(test)]

@@ -22,7 +22,8 @@ use crate::mode::{decide_modes, ModePolicy, TileMode};
 use crate::part::BlockDist;
 use crate::tiling::{subtile_csr, TileBuckets, Tiling};
 use std::collections::HashMap;
-use tsgemm_net::{Comm, CommError};
+use std::time::Instant;
+use tsgemm_net::{Comm, CommError, Metrics, MetricsRegistry};
 use tsgemm_sparse::accum::{Accumulator, HashAccum, Spa};
 use tsgemm_sparse::semiring::Semiring;
 use tsgemm_sparse::spgemm::{spgemm, spgemm_flops, AccumChoice};
@@ -95,16 +96,51 @@ pub struct TsLocalStats {
 }
 
 impl TsLocalStats {
-    /// Element-wise aggregation across ranks (steps take the max).
-    pub fn merge(mut self, other: &TsLocalStats) -> TsLocalStats {
-        self.flops += other.flops;
-        self.peak_transient_bytes = self.peak_transient_bytes.max(other.peak_transient_bytes);
-        self.local_subtiles += other.local_subtiles;
-        self.remote_subtiles += other.remote_subtiles;
-        self.diag_subtiles += other.diag_subtiles;
-        self.steps = self.steps.max(other.steps);
-        self.retries += other.retries;
-        self
+    /// Lowers into the registry namespace under `phase` (normally the
+    /// config's tag). Sum-like fields become counters, high-water marks
+    /// become gauges, so registry merges agree with [`Metrics::merge`].
+    pub fn registry(&self, phase: &str) -> MetricsRegistry {
+        let mut m = MetricsRegistry::new();
+        m.counter_add(phase, "flops", self.flops);
+        m.gauge_max(
+            phase,
+            "peak_transient_bytes",
+            self.peak_transient_bytes as f64,
+        );
+        m.counter_add(phase, "local_subtiles", self.local_subtiles);
+        m.counter_add(phase, "remote_subtiles", self.remote_subtiles);
+        m.counter_add(phase, "diag_subtiles", self.diag_subtiles);
+        m.gauge_max(phase, "steps", self.steps as f64);
+        m.counter_add(phase, "retries", self.retries);
+        m
+    }
+}
+
+impl Metrics for TsLocalStats {
+    /// Element-wise aggregation across ranks (high-water marks take the max).
+    fn merge(&mut self, other: &Self) {
+        // Destructured so that adding a field without deciding its merge law
+        // is a compile error rather than a silently dropped count.
+        let TsLocalStats {
+            flops,
+            peak_transient_bytes,
+            local_subtiles,
+            remote_subtiles,
+            diag_subtiles,
+            steps,
+            retries,
+        } = *other;
+        self.flops += flops;
+        self.peak_transient_bytes = self.peak_transient_bytes.max(peak_transient_bytes);
+        self.local_subtiles += local_subtiles;
+        self.remote_subtiles += remote_subtiles;
+        self.diag_subtiles += diag_subtiles;
+        self.steps = self.steps.max(steps);
+        self.retries += retries;
+    }
+
+    fn snapshot(&self) -> MetricsRegistry {
+        self.registry("ts")
     }
 }
 
@@ -205,10 +241,12 @@ pub fn try_ts_spgemm<S: Semiring>(
 
     let trip_bytes = std::mem::size_of::<Trip<S::T>>() as u64;
     let mut flops = 0u64;
+    let trace = comm.trace_on();
 
     for rb in 0..tiling.n_row_bands {
         for cb in 0..tiling.n_col_bands {
             // ---- server role: pack B rows / compute partial C ------------
+            let pack_start = trace.then(Instant::now);
             let mut bsend: Vec<Vec<Trip<S::T>>> = (0..p).map(|_| Vec::new()).collect();
             let mut csend: Vec<Vec<Trip<S::T>>> = (0..p).map(|_| Vec::new()).collect();
             let (bcol_lo, _) = ac.col_range();
@@ -265,6 +303,10 @@ pub fn try_ts_spgemm<S: Semiring>(
                 }
             }
 
+            if let Some(t) = pack_start {
+                comm.record_span(format!("{}:pack", cfg.tag), t);
+            }
+
             // ---- consolidated communication ------------------------------
             let brecv = alltoallv_retry(
                 comm,
@@ -285,6 +327,7 @@ pub fn try_ts_spgemm<S: Semiring>(
             comm.note_working_set(transient);
 
             // ---- tile-owner role: local multiply -------------------------
+            let kernel_start = trace.then(Instant::now);
             // Index received B rows: global row id -> slice of entries.
             let mut brow_entries: Vec<(Idx, S::T)> = Vec::new();
             let mut brow_index: HashMap<Idx, (u32, u32)> = HashMap::new();
@@ -367,17 +410,28 @@ pub fn try_ts_spgemm<S: Semiring>(
                 }
             }
 
+            if let Some(t) = kernel_start {
+                comm.record_span(format!("{}:kernel", cfg.tag), t);
+            }
+
             // ---- fold in remotely computed partials ----------------------
+            let merge_start = trace.then(Instant::now);
             for msg in crecv {
                 for t in msg {
                     out_trips.push((t.row - my_lo, t.col, t.val));
                 }
+            }
+            if let Some(t) = merge_start {
+                comm.record_span(format!("{}:merge", cfg.tag), t);
             }
         }
     }
 
     comm.add_flops(flops);
     stats.flops = flops;
+    if trace {
+        comm.metrics(|m| m.merge(&stats.registry(&cfg.tag)));
+    }
 
     let c = Coo::from_entries(a.local_rows(), d, out_trips).to_csr::<S>();
     Ok((c, stats))
@@ -466,6 +520,53 @@ mod tests {
             );
         }
         out.results.into_iter().map(|(_, s)| s).collect()
+    }
+
+    #[test]
+    fn stats_merge_is_total_over_every_field() {
+        // Regression: an earlier fold-based merge silently dropped fields
+        // (retry counts) added after it was written. The destructuring merge
+        // makes that a compile error; this pins the runtime semantics.
+        let a = TsLocalStats {
+            flops: 1,
+            peak_transient_bytes: 10,
+            local_subtiles: 2,
+            remote_subtiles: 3,
+            diag_subtiles: 4,
+            steps: 5,
+            retries: 6,
+        };
+        let b = TsLocalStats {
+            flops: 10,
+            peak_transient_bytes: 7,
+            local_subtiles: 20,
+            remote_subtiles: 30,
+            diag_subtiles: 40,
+            steps: 3,
+            retries: 60,
+        };
+        let mut ab = a;
+        ab.merge(&b);
+        assert_eq!(
+            ab,
+            TsLocalStats {
+                flops: 11,
+                peak_transient_bytes: 10,
+                local_subtiles: 22,
+                remote_subtiles: 33,
+                diag_subtiles: 44,
+                steps: 5,
+                retries: 66,
+            }
+        );
+        // Commutative: fold order across ranks must not matter.
+        let mut ba = b;
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        // The registry lowering agrees with the struct merge laws.
+        let mut ra = a.snapshot();
+        ra.merge(&b.snapshot());
+        assert_eq!(ra, ab.snapshot());
     }
 
     #[test]

@@ -39,6 +39,18 @@ pub use mode::{ModePolicy, TileMode};
 pub use part::BlockDist;
 pub use tiling::Tiling;
 
+/// The `tsgemm-trace` observability facade: unified metrics registry,
+/// Chrome-trace timeline export, and the run-level trace switch. Implemented
+/// in [`tsgemm_net`], re-exported here so algorithm and application crates
+/// only depend on the core facade.
+pub mod trace {
+    pub use tsgemm_net::metrics::{Histogram, MetricValue, Metrics, MetricsRegistry};
+    pub use tsgemm_net::stats::PhaseSpan;
+    pub use tsgemm_net::trace::{
+        chrome_trace_json, phase_rollup, render_rollup, write_trace_files, PhaseRollup, TraceConfig,
+    };
+}
+
 use tsgemm_net::Comm;
 use tsgemm_sparse::semiring::Semiring;
 use tsgemm_sparse::Csr;

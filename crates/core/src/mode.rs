@@ -15,9 +15,11 @@
 //! sub-tiles (tile owner == B owner) never communicate. The decisions are
 //! then shared with tile owners in one tiny AllToAll of flags.
 
+use crate::colpart::Trip;
 use crate::dist::DistCsr;
 use crate::tiling::{subtile_csr, SubTileKey, TileBuckets, Tiling};
 use std::collections::HashMap;
+use std::time::Instant;
 use tsgemm_net::Comm;
 use tsgemm_sparse::semiring::Semiring;
 use tsgemm_sparse::spgemm::spgemm_symbolic;
@@ -90,38 +92,65 @@ pub fn decide_modes<S: Semiring>(
 ) -> Modes {
     let me = comm.rank();
     let p = comm.size();
+    let trace = comm.trace_on();
+    let trip_bytes = std::mem::size_of::<Trip<S::T>>() as u64;
     let mut serve: HashMap<SubTileKey, TileMode> = HashMap::new();
     let mut n_local = 0u64;
     let mut n_remote = 0u64;
     let mut n_diag = 0u64;
+    // Bytes this rank's serving decisions predict it will send on the
+    // multiply-phase collectives (the `tests/comm_volume.rs` invariant:
+    // both counts are exact, not estimates).
+    let mut predicted_bfetch = 0u64;
+    let mut predicted_cret = 0u64;
     let mut sends: Vec<Vec<(u32, u32, u8)>> = (0..p).map(|_| Vec::new()).collect();
+    let symbolic_start = trace.then(Instant::now);
 
     for (&(i, rb, cb), bucket) in &buckets.map {
         if i == me {
             n_diag += 1;
             continue;
         }
+        // nnz the exec phase will pack as partial-C triplets if this
+        // sub-tile goes remote. Exact because the numeric kernel never
+        // produces explicit zeros here (⊕-cancellation would require them).
+        let produced_nnz = |comm: &mut Comm| {
+            let (band_lo, band_hi) = tiling.band_range(i, rb as usize);
+            let tile = subtile_csr(
+                bucket,
+                band_lo,
+                (band_hi - band_lo) as usize,
+                b.local.nrows(),
+            );
+            let produced = spgemm_symbolic(&tile, &b.local);
+            comm.add_flops(produced.flops);
+            produced.nnz() as u64
+        };
         let mode = match policy {
-            ModePolicy::LocalOnly => TileMode::Local,
-            ModePolicy::RemoteOnly => TileMode::Remote,
+            ModePolicy::LocalOnly => {
+                if trace {
+                    predicted_bfetch += needed_b_nnz(bucket, &b.local) * trip_bytes;
+                }
+                TileMode::Local
+            }
+            ModePolicy::RemoteOnly => {
+                if trace {
+                    predicted_cret += produced_nnz(comm) * trip_bytes;
+                }
+                TileMode::Remote
+            }
             ModePolicy::Hybrid => {
                 let needed = needed_b_nnz(bucket, &b.local);
                 if needed == 0 {
                     // Nothing would move either way; keep it local (no-op).
                     TileMode::Local
                 } else {
-                    let (band_lo, band_hi) = tiling.band_range(i, rb as usize);
-                    let tile = subtile_csr(
-                        bucket,
-                        band_lo,
-                        (band_hi - band_lo) as usize,
-                        b.local.nrows(),
-                    );
-                    let produced = spgemm_symbolic(&tile, &b.local);
-                    comm.add_flops(produced.flops);
-                    if (produced.nnz() as u64) < needed {
+                    let produced = produced_nnz(comm);
+                    if produced < needed {
+                        predicted_cret += produced * trip_bytes;
                         TileMode::Remote
                     } else {
+                        predicted_bfetch += needed * trip_bytes;
                         TileMode::Local
                     }
                 }
@@ -133,6 +162,22 @@ pub fn decide_modes<S: Semiring>(
         }
         serve.insert((i, rb, cb), mode);
         sends[i].push((rb, cb, mode as u8));
+    }
+
+    if let Some(t) = symbolic_start {
+        comm.record_span(format!("{tag_prefix}:symbolic"), t);
+        comm.metrics(|m| {
+            m.counter_add(
+                &format!("{tag_prefix}:bfetch"),
+                "predicted_bytes",
+                predicted_bfetch,
+            );
+            m.counter_add(
+                &format!("{tag_prefix}:cret"),
+                "predicted_bytes",
+                predicted_cret,
+            );
+        });
     }
 
     let received = comm.alltoallv(sends, format!("{tag_prefix}:modes"));

@@ -28,6 +28,34 @@ pub struct NaiveLocalStats {
     pub resident_b_bytes: u64,
 }
 
+impl NaiveLocalStats {
+    /// Lowers into the registry namespace under `phase`.
+    pub fn registry(&self, phase: &str) -> tsgemm_net::MetricsRegistry {
+        let mut m = tsgemm_net::MetricsRegistry::new();
+        m.counter_add(phase, "flops", self.flops);
+        m.counter_add(phase, "requested_rows", self.requested_rows);
+        m.gauge_max(phase, "resident_b_bytes", self.resident_b_bytes as f64);
+        m
+    }
+}
+
+impl tsgemm_net::Metrics for NaiveLocalStats {
+    fn merge(&mut self, other: &Self) {
+        let NaiveLocalStats {
+            flops,
+            requested_rows,
+            resident_b_bytes,
+        } = *other;
+        self.flops += flops;
+        self.requested_rows += requested_rows;
+        self.resident_b_bytes = self.resident_b_bytes.max(resident_b_bytes);
+    }
+
+    fn snapshot(&self) -> tsgemm_net::MetricsRegistry {
+        self.registry("naive")
+    }
+}
+
 /// Runs Alg. 1. Tags: `{tag}:req` for the index request round and
 /// `{tag}:bfetch` for the data round.
 pub fn naive_spgemm<S: Semiring>(
@@ -130,14 +158,16 @@ pub fn naive_spgemm<S: Semiring>(
     comm.add_flops(flops);
     let c = spgemm::<S>(&a_compact, &b_compact, accum);
 
-    (
-        c,
-        NaiveLocalStats {
-            flops,
-            requested_rows,
-            resident_b_bytes,
-        },
-    )
+    let stats = NaiveLocalStats {
+        flops,
+        requested_rows,
+        resident_b_bytes,
+    };
+    if comm.trace_on() {
+        use tsgemm_net::Metrics;
+        comm.metrics(|m| m.merge(&stats.registry(tag)));
+    }
+    (c, stats)
 }
 
 #[cfg(test)]

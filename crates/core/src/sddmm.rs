@@ -25,6 +25,28 @@ pub struct SddmmLocalStats {
     pub steps: u64,
 }
 
+impl SddmmLocalStats {
+    /// Lowers into the registry namespace under `phase`.
+    pub fn registry(&self, phase: &str) -> tsgemm_net::MetricsRegistry {
+        let mut m = tsgemm_net::MetricsRegistry::new();
+        m.counter_add(phase, "flops", self.flops);
+        m.gauge_max(phase, "steps", self.steps as f64);
+        m
+    }
+}
+
+impl tsgemm_net::Metrics for SddmmLocalStats {
+    fn merge(&mut self, other: &Self) {
+        let SddmmLocalStats { flops, steps } = *other;
+        self.flops += flops;
+        self.steps = self.steps.max(steps);
+    }
+
+    fn snapshot(&self) -> tsgemm_net::MetricsRegistry {
+        self.registry("sddmm")
+    }
+}
+
 /// Configuration: tile geometry and stat tag.
 #[derive(Clone, Debug)]
 pub struct SddmmConfig {
@@ -190,6 +212,10 @@ pub fn dist_sddmm(
 
     comm.add_flops(flops);
     stats.flops = flops;
+    if comm.trace_on() {
+        use tsgemm_net::Metrics;
+        comm.metrics(|m| m.merge(&stats.registry(&cfg.tag)));
+    }
     let o = csr_from_unique_triplets(s.local_rows(), dist.n(), out_trips);
     (o, stats)
 }

@@ -38,6 +38,34 @@ pub struct SpmmLocalStats {
     pub steps: u64,
 }
 
+impl SpmmLocalStats {
+    /// Lowers into the registry namespace under `phase`.
+    pub fn registry(&self, phase: &str) -> tsgemm_net::MetricsRegistry {
+        let mut m = tsgemm_net::MetricsRegistry::new();
+        m.counter_add(phase, "flops", self.flops);
+        m.counter_add(phase, "rows_shipped", self.rows_shipped);
+        m.gauge_max(phase, "steps", self.steps as f64);
+        m
+    }
+}
+
+impl tsgemm_net::Metrics for SpmmLocalStats {
+    fn merge(&mut self, other: &Self) {
+        let SpmmLocalStats {
+            flops,
+            rows_shipped,
+            steps,
+        } = *other;
+        self.flops += flops;
+        self.rows_shipped += rows_shipped;
+        self.steps = self.steps.max(steps);
+    }
+
+    fn snapshot(&self) -> tsgemm_net::MetricsRegistry {
+        self.registry("spmm")
+    }
+}
+
 /// Configuration: tile geometry and stat tag.
 #[derive(Clone, Debug)]
 pub struct SpmmConfig {
@@ -164,6 +192,10 @@ pub fn dist_spmm<S: Semiring>(
 
     stats.flops = flops;
     comm.add_flops(flops / DENSE_FLOP_DISCOUNT.max(1));
+    if comm.trace_on() {
+        use tsgemm_net::Metrics;
+        comm.metrics(|m| m.merge(&stats.registry(&cfg.tag)));
+    }
     (c, stats)
 }
 

@@ -21,7 +21,9 @@
 //! [`CommError::PeerExited`] instead of an eternal hang.
 
 use crate::fault::{CommError, FailureInfo, FaultCtx, FaultKind, ParkedPosition};
+use crate::metrics::MetricsRegistry;
 use crate::stats::{CollKind, CollectiveRecord, GroupInfo, RankProfile};
+use crate::trace::TraceConfig;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 use std::any::Any;
@@ -107,6 +109,11 @@ pub struct Comm {
     /// Out-of-order messages parked until their source is being drained.
     pending: Vec<VecDeque<Msg>>,
     profile: Arc<Mutex<RankProfile>>,
+    /// The rank's metrics registry (shared with sub-communicators); only
+    /// populated when [`Comm::trace_on`] — collectives never touch it.
+    metrics: Arc<Mutex<MetricsRegistry>>,
+    /// Gate for algorithm-level trace instrumentation.
+    trace: TraceConfig,
     /// Fault-injection context; `None` outside `World::try_run` (and for
     /// empty fault plans), which keeps every hot path exactly as fast and
     /// as deterministic as an uninstrumented run.
@@ -118,6 +125,8 @@ impl Comm {
         group: Arc<GroupShared>,
         rank: usize,
         profile: Arc<Mutex<RankProfile>>,
+        metrics: Arc<Mutex<MetricsRegistry>>,
+        trace: TraceConfig,
     ) -> Self {
         let size = group.info.world_ranks.len();
         Self {
@@ -127,6 +136,8 @@ impl Comm {
             split_gen: 0,
             pending: (0..size).map(|_| VecDeque::new()).collect(),
             profile,
+            metrics,
+            trace,
             fault: None,
         }
     }
@@ -178,6 +189,28 @@ impl Comm {
     /// statistics inside applications).
     pub fn with_profile<R>(&self, f: impl FnOnce(&RankProfile) -> R) -> R {
         f(&self.profile.lock())
+    }
+
+    /// True when trace instrumentation is enabled for this run. Algorithm
+    /// layers guard their span/metric recording behind this single `bool`,
+    /// so a disabled trace costs exactly one branch per instrumented site.
+    #[inline]
+    pub fn trace_on(&self) -> bool {
+        self.trace.on()
+    }
+
+    /// Mutable access to this rank's metrics registry. Sub-communicators
+    /// created by [`Comm::split`] share the parent's registry, mirroring how
+    /// they share the profile.
+    pub fn metrics<R>(&self, f: impl FnOnce(&mut MetricsRegistry) -> R) -> R {
+        f(&mut self.metrics.lock())
+    }
+
+    /// Records a phase span `[started, now]` on this rank's timeline.
+    /// Callers obtain `started` from `Instant::now()` before the phase and
+    /// should guard the whole pattern behind [`Comm::trace_on`].
+    pub fn record_span(&self, tag: impl Into<String>, started: Instant) {
+        self.profile.lock().record_span(tag.into(), started);
     }
 
     fn next_seq(&mut self) -> u64 {
@@ -491,6 +524,7 @@ impl Comm {
             uniform_bytes,
             wait_secs: entered.elapsed().as_secs_f64(),
             injected_delay_secs,
+            entered_secs: 0.0, // set by end_segment from the profile epoch
         };
         self.profile.lock().end_segment(rec, entered);
     }
@@ -980,7 +1014,13 @@ impl Comm {
                     .or_insert_with(|| GroupShared::new(world_ranks)),
             )
         };
-        let mut sub = Comm::new(shared, my_new_rank, Arc::clone(&self.profile));
+        let mut sub = Comm::new(
+            shared,
+            my_new_rank,
+            Arc::clone(&self.profile),
+            Arc::clone(&self.metrics),
+            self.trace,
+        );
         // A rank's splits share its fault context: the collective counter
         // keeps running across communicators, so "crash at collective #k"
         // means the k-th collective the rank enters anywhere.

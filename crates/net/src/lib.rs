@@ -32,7 +32,9 @@
 pub mod comm;
 pub mod cost;
 pub mod fault;
+pub mod metrics;
 pub mod stats;
+pub mod trace;
 pub mod world;
 
 pub use comm::Comm;
@@ -41,5 +43,9 @@ pub use fault::{
     CommError, Fault, FaultKind, FaultPlan, HangEntry, HangReport, ParkedPosition, RankFailure,
     Trigger,
 };
-pub use stats::{CollKind, CollectiveRecord, RankProfile, Segment};
+pub use metrics::{Histogram, MetricValue, Metrics, MetricsRegistry};
+pub use stats::{CollKind, CollectiveRecord, PhaseSpan, RankProfile, Segment};
+pub use trace::{
+    chrome_trace_json, phase_rollup, render_rollup, write_trace_files, PhaseRollup, TraceConfig,
+};
 pub use world::{RunOutput, TryRunOutput, World};

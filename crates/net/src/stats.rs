@@ -54,6 +54,10 @@ pub struct CollectiveRecord {
     /// Modeled straggler delay injected by an active fault plan (zero in
     /// fault-free runs); priced by [`crate::CostModel::collective_cost`].
     pub injected_delay_secs: f64,
+    /// Seconds since the rank's profile epoch at which the rank entered the
+    /// collective. Gives every record an absolute position on the rank's
+    /// timeline, which is what the Chrome-trace export plots.
+    pub entered_secs: f64,
 }
 
 impl CollectiveRecord {
@@ -79,24 +83,45 @@ pub struct Segment {
     pub coll: Option<CollectiveRecord>,
 }
 
+/// A named compute interval recorded by an algorithm (tile-loop phases like
+/// `"ts:kernel"`), positioned on the rank's timeline by seconds since the
+/// profile epoch. Spans are pure annotation: byte accounting and the cost
+/// model ignore them; the Chrome-trace export plots them as slices.
+#[derive(Clone, Debug)]
+pub struct PhaseSpan {
+    /// Phase tag (same namespace as collective tags).
+    pub tag: String,
+    /// Seconds since the profile epoch at which the span started.
+    pub start_secs: f64,
+    /// Seconds since the profile epoch at which the span ended.
+    pub end_secs: f64,
+}
+
 /// The full log of one rank's run.
 #[derive(Debug)]
 pub struct RankProfile {
     pub world_rank: usize,
     pub segments: Vec<Segment>,
+    /// Algorithm-recorded phase spans (empty unless tracing is enabled).
+    pub spans: Vec<PhaseSpan>,
     pending_flops: u64,
     pending_ws: u64,
     mark: Instant,
+    /// Profile epoch: every timestamp in this profile is relative to it.
+    epoch: Instant,
 }
 
 impl RankProfile {
     pub fn new(world_rank: usize) -> Self {
+        let now = Instant::now();
         Self {
             world_rank,
             segments: Vec::new(),
+            spans: Vec::new(),
             pending_flops: 0,
             pending_ws: 0,
-            mark: Instant::now(),
+            mark: now,
+            epoch: now,
         }
     }
 
@@ -113,11 +138,22 @@ impl RankProfile {
         self.pending_ws = self.pending_ws.max(bytes);
     }
 
+    /// Records a phase span that started at `started` and ends now.
+    pub fn record_span(&mut self, tag: String, started: Instant) {
+        let end = Instant::now();
+        self.spans.push(PhaseSpan {
+            tag,
+            start_secs: started.duration_since(self.epoch).as_secs_f64(),
+            end_secs: end.duration_since(self.epoch).as_secs_f64(),
+        });
+    }
+
     /// Closes the current compute segment with `coll` attached.
     /// Called by `Comm` right after a collective completes; `entered` is the
     /// instant the rank entered the collective.
-    pub(crate) fn end_segment(&mut self, coll: CollectiveRecord, entered: Instant) {
+    pub(crate) fn end_segment(&mut self, mut coll: CollectiveRecord, entered: Instant) {
         let compute_secs = entered.duration_since(self.mark).as_secs_f64();
+        coll.entered_secs = entered.duration_since(self.epoch).as_secs_f64();
         self.segments.push(Segment {
             flops: std::mem::take(&mut self.pending_flops),
             ws_bytes: std::mem::take(&mut self.pending_ws),
@@ -146,9 +182,11 @@ impl RankProfile {
         RankProfile {
             world_rank: self.world_rank,
             segments: self.segments.clone(),
+            spans: self.spans.clone(),
             pending_flops: 0,
             pending_ws: 0,
             mark: Instant::now(),
+            epoch: self.epoch,
         }
     }
 
@@ -209,6 +247,7 @@ mod tests {
             uniform_bytes: 0,
             wait_secs: 0.0,
             injected_delay_secs: 0.0,
+            entered_secs: 0.0,
         }
     }
 

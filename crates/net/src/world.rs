@@ -4,7 +4,9 @@ use crate::comm::{Comm, GroupShared};
 use crate::fault::{
     FailureBoard, FailureInfo, FaultCtx, FaultPlan, HangEntry, HangReport, RankFailure,
 };
+use crate::metrics::MetricsRegistry;
 use crate::stats::RankProfile;
+use crate::trace::TraceConfig;
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -15,6 +17,9 @@ pub struct RunOutput<R> {
     pub results: Vec<R>,
     /// `profiles[i]` is rank `i`'s execution log.
     pub profiles: Vec<RankProfile>,
+    /// `metrics[i]` is rank `i`'s metrics registry (empty unless the run was
+    /// traced and the algorithm recorded into it).
+    pub metrics: Vec<MetricsRegistry>,
 }
 
 /// Result of a fault-aware run ([`World::try_run`]): per-rank outcomes
@@ -26,6 +31,9 @@ pub struct TryRunOutput<R> {
     /// `profiles[i]` is rank `i`'s execution log (present even for failed
     /// ranks, up to the point of failure).
     pub profiles: Vec<RankProfile>,
+    /// `metrics[i]` is rank `i`'s metrics registry (present even for failed
+    /// ranks, up to the point of failure).
+    pub metrics: Vec<MetricsRegistry>,
     /// Per-rank diagnosis — which collective sequence number and phase tag
     /// each rank was parked on — whenever at least one rank failed.
     pub hang_report: Option<HangReport>,
@@ -48,6 +56,7 @@ impl<R> TryRunOutput<R> {
         RunOutput {
             results,
             profiles: self.profiles,
+            metrics: self.metrics,
         }
     }
 }
@@ -60,6 +69,20 @@ fn panic_cause(payload: &(dyn std::any::Any + Send)) -> String {
     } else {
         "rank panicked".to_string()
     }
+}
+
+fn unwrap_arcs<T>(arcs: Vec<Arc<Mutex<T>>>, clone_out: impl Fn(&T) -> T) -> Vec<T> {
+    arcs.into_iter()
+        .map(|arc| {
+            Arc::try_unwrap(arc)
+                .map(|m| m.into_inner())
+                .unwrap_or_else(|arc| {
+                    // A sub-communicator kept a clone alive past the rank
+                    // function; copy the data out instead.
+                    clone_out(&arc.lock())
+                })
+        })
+        .collect()
 }
 
 /// Entry point to the simulated cluster.
@@ -76,10 +99,24 @@ impl World {
         R: Send,
         F: Fn(&mut Comm) -> R + Send + Sync,
     {
+        Self::run_traced(p, TraceConfig::disabled(), f)
+    }
+
+    /// [`World::run`] with algorithm-level trace instrumentation switched by
+    /// `trace`: when enabled, instrumented algorithms record phase spans
+    /// into the profiles and counters into the per-rank metrics registries.
+    pub fn run_traced<R, F>(p: usize, trace: TraceConfig, f: F) -> RunOutput<R>
+    where
+        R: Send,
+        F: Fn(&mut Comm) -> R + Send + Sync,
+    {
         assert!(p > 0, "need at least one rank");
         let group = GroupShared::new((0..p).collect());
         let profiles: Vec<Arc<Mutex<RankProfile>>> = (0..p)
             .map(|r| Arc::new(Mutex::new(RankProfile::new(r))))
+            .collect();
+        let metrics: Vec<Arc<Mutex<MetricsRegistry>>> = (0..p)
+            .map(|_| Arc::new(Mutex::new(MetricsRegistry::new())))
             .collect();
 
         let results: Vec<R> = std::thread::scope(|scope| {
@@ -87,9 +124,11 @@ impl World {
                 .map(|rank| {
                     let group = Arc::clone(&group);
                     let profile = Arc::clone(&profiles[rank]);
+                    let registry = Arc::clone(&metrics[rank]);
                     let f = &f;
                     scope.spawn(move || {
-                        let mut comm = Comm::new(group, rank, Arc::clone(&profile));
+                        let mut comm =
+                            Comm::new(group, rank, Arc::clone(&profile), registry, trace);
                         let out = f(&mut comm);
                         profile.lock().finish();
                         out
@@ -105,20 +144,13 @@ impl World {
                 .collect()
         });
 
-        let profiles = profiles
-            .into_iter()
-            .map(|arc| {
-                Arc::try_unwrap(arc)
-                    .map(|m| m.into_inner())
-                    .unwrap_or_else(|arc| {
-                        // A sub-communicator kept a clone alive past the rank
-                        // function; copy the data out instead.
-                        arc.lock().snapshot()
-                    })
-            })
-            .collect();
-
-        RunOutput { results, profiles }
+        let profiles = unwrap_arcs(profiles, |p| p.snapshot());
+        let metrics = unwrap_arcs(metrics, |m| m.clone());
+        RunOutput {
+            results,
+            profiles,
+            metrics,
+        }
     }
 
     /// Fault-aware variant of [`World::run`]: runs `f` on `p` ranks under
@@ -140,10 +172,28 @@ impl World {
         R: Send,
         F: Fn(&mut Comm) -> R + Send + Sync,
     {
+        Self::try_run_traced(p, plan, TraceConfig::disabled(), f)
+    }
+
+    /// [`World::try_run`] with trace instrumentation (see
+    /// [`World::run_traced`]).
+    pub fn try_run_traced<R, F>(
+        p: usize,
+        plan: &FaultPlan,
+        trace: TraceConfig,
+        f: F,
+    ) -> TryRunOutput<R>
+    where
+        R: Send,
+        F: Fn(&mut Comm) -> R + Send + Sync,
+    {
         assert!(p > 0, "need at least one rank");
         let group = GroupShared::new((0..p).collect());
         let profiles: Vec<Arc<Mutex<RankProfile>>> = (0..p)
             .map(|r| Arc::new(Mutex::new(RankProfile::new(r))))
+            .collect();
+        let metrics: Vec<Arc<Mutex<MetricsRegistry>>> = (0..p)
+            .map(|_| Arc::new(Mutex::new(MetricsRegistry::new())))
             .collect();
         let inject = !plan.is_empty();
         let plan = Arc::new(plan.clone());
@@ -154,11 +204,13 @@ impl World {
                 .map(|rank| {
                     let group = Arc::clone(&group);
                     let profile = Arc::clone(&profiles[rank]);
+                    let registry = Arc::clone(&metrics[rank]);
                     let plan = Arc::clone(&plan);
                     let board = Arc::clone(&board);
                     let f = &f;
                     scope.spawn(move || {
-                        let mut comm = Comm::new(group, rank, Arc::clone(&profile));
+                        let mut comm =
+                            Comm::new(group, rank, Arc::clone(&profile), registry, trace);
                         if inject {
                             comm.set_fault(FaultCtx::new(plan, Arc::clone(&board), rank));
                         }
@@ -199,14 +251,8 @@ impl World {
                 .collect()
         });
 
-        let profiles: Vec<RankProfile> = profiles
-            .into_iter()
-            .map(|arc| {
-                Arc::try_unwrap(arc)
-                    .map(|m| m.into_inner())
-                    .unwrap_or_else(|arc| arc.lock().snapshot())
-            })
-            .collect();
+        let profiles: Vec<RankProfile> = unwrap_arcs(profiles, |p| p.snapshot());
+        let metrics: Vec<MetricsRegistry> = unwrap_arcs(metrics, |m| m.clone());
 
         let results: Vec<Result<R, RankFailure>> = outcomes
             .into_iter()
@@ -251,6 +297,7 @@ impl World {
         TryRunOutput {
             results,
             profiles,
+            metrics,
             hang_report,
         }
     }
@@ -268,6 +315,7 @@ mod tests {
             assert_eq!(s, 6);
         }
         assert_eq!(out.profiles.len(), 6);
+        assert_eq!(out.metrics.len(), 6);
     }
 
     #[test]
@@ -296,5 +344,40 @@ mod tests {
         // Smoke test that a large thread count works on this host.
         let out = World::run(64, |comm| comm.allreduce(1u64, |a, b| a + b, "n"));
         assert!(out.results.iter().all(|&v| v == 64));
+    }
+
+    #[test]
+    fn untraced_runs_have_empty_registries_and_trace_off() {
+        let out = World::run(3, |comm| {
+            assert!(!comm.trace_on());
+            comm.barrier("b");
+        });
+        assert!(out.metrics.iter().all(|m| m.is_empty()));
+    }
+
+    #[test]
+    fn traced_runs_collect_per_rank_registries() {
+        use crate::trace::TraceConfig;
+        let out = World::run_traced(4, TraceConfig::enabled(), |comm| {
+            assert!(comm.trace_on());
+            comm.metrics(|m| m.counter_add("app", "work", comm.rank() as u64));
+            comm.barrier("b");
+        });
+        for (rank, m) in out.metrics.iter().enumerate() {
+            assert_eq!(m.counter("app", "work"), rank as u64);
+        }
+    }
+
+    #[test]
+    fn split_shares_parent_registry() {
+        use crate::trace::TraceConfig;
+        let out = World::run_traced(4, TraceConfig::enabled(), |comm| {
+            let mut sub = comm.split(comm.rank() % 2, comm.rank());
+            assert!(sub.trace_on());
+            sub.metrics(|m| m.counter_add("sub", "hits", 1));
+            sub.barrier("sb");
+            comm.metrics(|m| m.counter("sub", "hits"))
+        });
+        assert!(out.results.iter().all(|&c| c == 1));
     }
 }

@@ -1,0 +1,110 @@
+//! Merge laws of the metrics registry (the property the multi-rank
+//! roll-ups rely on): merging is associative and commutative, and merged
+//! counters are element-wise sums, gauges element-wise maxima, histograms
+//! element-wise bucket sums. Fold order across ranks must never matter.
+
+use proptest::prelude::*;
+use tsgemm_net::{MetricValue, Metrics, MetricsRegistry};
+
+/// Builds a registry from a seed: a deterministic xorshift stream picks the
+/// phase, metric type, and value of each entry. Phases and names overlap
+/// heavily across seeds so merges collide on keys (the interesting case).
+fn synth(seed: u64, len: usize) -> MetricsRegistry {
+    const PHASES: [&str; 4] = ["ts", "ts:bfetch", "bfs:i0", "embed:e2"];
+    let mut m = MetricsRegistry::new();
+    let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    for _ in 0..len {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        let phase = PHASES[(s % PHASES.len() as u64) as usize];
+        let v = (s >> 16) % 100_000;
+        // The metric name encodes the type, so colliding keys always merge
+        // under the same law (a type mismatch is a panic by design).
+        match (s >> 8) % 3 {
+            0 => m.counter_add(phase, "count", v),
+            1 => m.gauge_max(phase, "peak", v as f64),
+            _ => m.observe(phase, "bytes", v),
+        }
+    }
+    m
+}
+
+fn merged(a: &MetricsRegistry, b: &MetricsRegistry) -> MetricsRegistry {
+    let mut out = a.clone();
+    out.merge(b);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn merge_is_commutative(
+        sa in 0u64..1_000, sb in 0u64..1_000,
+        la in 0usize..40, lb in 0usize..40,
+    ) {
+        let a = synth(sa, la);
+        let b = synth(sb, lb);
+        prop_assert_eq!(merged(&a, &b), merged(&b, &a));
+    }
+
+    #[test]
+    fn merge_is_associative(
+        sa in 0u64..1_000, sb in 0u64..1_000, sc in 0u64..1_000,
+        la in 0usize..40, lb in 0usize..40, lc in 0usize..40,
+    ) {
+        let a = synth(sa, la);
+        let b = synth(sb, lb);
+        let c = synth(sc, lc);
+        prop_assert_eq!(merged(&merged(&a, &b), &c), merged(&a, &merged(&b, &c)));
+    }
+
+    #[test]
+    fn merge_is_element_wise(
+        sa in 0u64..1_000, sb in 0u64..1_000,
+        la in 0usize..40, lb in 0usize..40,
+    ) {
+        let a = synth(sa, la);
+        let b = synth(sb, lb);
+        let ab = merged(&a, &b);
+        // Every key of the merge comes from one of the operands …
+        for ((phase, name), v) in ab.iter() {
+            let va = a.get(phase, name);
+            let vb = b.get(phase, name);
+            prop_assert!(va.is_some() || vb.is_some(), "key ({phase},{name}) from nowhere");
+            match v {
+                MetricValue::Counter(n) => {
+                    prop_assert_eq!(*n, a.counter(phase, name) + b.counter(phase, name));
+                }
+                MetricValue::Gauge(g) => {
+                    prop_assert_eq!(*g, a.gauge(phase, name).max(b.gauge(phase, name)));
+                }
+                MetricValue::Hist(h) => {
+                    let empty = tsgemm_net::Histogram::default();
+                    let ha = a.histogram(phase, name).unwrap_or(&empty);
+                    let hb = b.histogram(phase, name).unwrap_or(&empty);
+                    prop_assert_eq!(h.count, ha.count + hb.count);
+                    prop_assert_eq!(h.sum, ha.sum + hb.sum);
+                    prop_assert_eq!(h.max, ha.max.max(hb.max));
+                    prop_assert_eq!(h.min, ha.min.min(hb.min));
+                    for (k, bucket) in h.buckets.iter().enumerate() {
+                        prop_assert_eq!(*bucket, ha.buckets[k] + hb.buckets[k]);
+                    }
+                }
+            }
+        }
+        // … and every operand key survives into the merge.
+        for ((phase, name), _) in a.iter().chain(b.iter()) {
+            prop_assert!(ab.get(phase, name).is_some());
+        }
+    }
+
+    #[test]
+    fn empty_registry_is_identity(s in 0u64..1_000, l in 0usize..40) {
+        let a = synth(s, l);
+        let id = MetricsRegistry::new();
+        prop_assert_eq!(merged(&a, &id), a.clone());
+        prop_assert_eq!(merged(&id, &a), a);
+    }
+}

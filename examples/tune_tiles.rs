@@ -5,6 +5,7 @@
 //!
 //! Run with: `cargo run --release --example tune_tiles`
 
+use tsgemm::core::trace::Metrics;
 use tsgemm::core::{ts_spgemm, BlockDist, ColBlocks, DistCsr, ModePolicy, TsConfig};
 use tsgemm::net::{CostModel, World};
 use tsgemm::sparse::gen::{random_tall, rmat, RMAT_WEB};
@@ -81,8 +82,9 @@ fn main() {
         let stats = out
             .results
             .iter()
-            .fold(Default::default(), |acc: tsgemm::core::TsLocalStats, s| {
-                acc.merge(s)
+            .fold(tsgemm::core::TsLocalStats::default(), |mut acc, s| {
+                acc.merge(s);
+                acc
             });
         println!(
             "{policy:?}: {bytes} bytes moved; subtiles local={} remote={} diag={}",

@@ -1,0 +1,141 @@
+//! Semantic oracle for the distributed TS-SpGEMM: the full pipeline
+//! (partition → symbolic → tile loop → merge) must agree with a trivially
+//! correct dense reference on random inputs, for every semiring the repo's
+//! applications use and both accumulator implementations.
+//!
+//! The reference iterates stored entries only (implicit zeros annihilate,
+//! which the dense `mul` of selection semirings like `(sel2nd, min)` would
+//! not honour), merges with `⊕`, and drops `⊕`-zero results exactly like
+//! the kernels' sorted drains do.
+
+use proptest::prelude::*;
+use tsgemm::core::{ts_spgemm, BlockDist, ColBlocks, DistCsr, TsConfig};
+use tsgemm::net::World;
+use tsgemm::sparse::gen::{erdos_renyi, random_tall};
+use tsgemm::sparse::spgemm::AccumChoice;
+use tsgemm::sparse::{BoolAndOr, Coo, Csr, PlusTimesF64, Sel2ndMinF64, Semiring};
+
+/// Dense reference product over stored entries: `C[i][j] = ⊕_k A[i][k] ⊗
+/// B[k][j]`, present only where at least one stored pair contributes.
+fn dense_ref<S: Semiring>(a: &Csr<S::T>, b: &Csr<S::T>, d: usize) -> Vec<Option<S::T>> {
+    let n = a.nrows();
+    let mut c: Vec<Option<S::T>> = vec![None; n * d];
+    for i in 0..n {
+        let (acols, avals) = a.row(i);
+        for (&k, &va) in acols.iter().zip(avals) {
+            let (bcols, bvals) = b.row(k as usize);
+            for (&j, &vb) in bcols.iter().zip(bvals) {
+                let cell = &mut c[i * d + j as usize];
+                let prod = S::mul(va, vb);
+                *cell = Some(match *cell {
+                    Some(old) => S::add(old, prod),
+                    None => prod,
+                });
+            }
+        }
+    }
+    for cell in c.iter_mut() {
+        if matches!(cell, Some(v) if S::is_zero(v)) {
+            *cell = None;
+        }
+    }
+    c
+}
+
+/// Runs the distributed multiply on `p` ranks and gathers the global `C`.
+fn run_distributed<S: Semiring>(
+    acoo: &Coo<S::T>,
+    bcoo: &Coo<S::T>,
+    p: usize,
+    accum: AccumChoice,
+) -> Csr<S::T> {
+    let n = acoo.nrows();
+    let d = bcoo.ncols();
+    let cfg = TsConfig {
+        accum,
+        ..TsConfig::default()
+    };
+    let out = World::run(p, |comm| {
+        let dist = BlockDist::new(n, p);
+        let a = DistCsr::from_global_coo::<S>(acoo, dist, comm.rank(), n);
+        let ac = ColBlocks::build::<S>(comm, &a);
+        let b = DistCsr::from_global_coo::<S>(bcoo, dist, comm.rank(), d);
+        let (c, _) = ts_spgemm::<S>(comm, &a, &ac, &b, &cfg);
+        DistCsr {
+            dist,
+            rank: comm.rank(),
+            local: c,
+        }
+        .gather_global::<S>(comm)
+    });
+    out.results.into_iter().next().unwrap()
+}
+
+/// Asserts the distributed product matches the dense reference cell-wise.
+fn oracle_check<S: Semiring>(
+    acoo: &Coo<S::T>,
+    bcoo: &Coo<S::T>,
+    p: usize,
+    accum: AccumChoice,
+    eq: impl Fn(S::T, S::T) -> bool,
+    label: &str,
+) {
+    let d = bcoo.ncols();
+    let expected = dense_ref::<S>(&acoo.to_csr::<S>(), &bcoo.to_csr::<S>(), d);
+    let c = run_distributed::<S>(acoo, bcoo, p, accum);
+    assert_eq!(c.nrows(), acoo.nrows());
+    for i in 0..c.nrows() {
+        let (cols, vals) = c.row(i);
+        let mut got: Vec<Option<S::T>> = vec![None; d];
+        for (&j, &v) in cols.iter().zip(vals) {
+            if !S::is_zero(&v) {
+                got[j as usize] = Some(v);
+            }
+        }
+        for j in 0..d {
+            match (got[j], expected[i * d + j]) {
+                (None, None) => {}
+                (Some(x), Some(y)) => assert!(
+                    eq(x, y),
+                    "{label} {accum:?} p={p}: value mismatch at ({i},{j}): {x:?} vs {y:?}"
+                ),
+                (g, e) => panic!(
+                    "{label} {accum:?} p={p}: presence mismatch at ({i},{j}): \
+                     got {g:?}, expected {e:?}"
+                ),
+            }
+        }
+    }
+}
+
+/// Relative closeness for `(+,×)`, whose merge order differs between the
+/// tiled distributed fold and the reference loop.
+fn close(x: f64, y: f64) -> bool {
+    (x - y).abs() <= 1e-9 * x.abs().max(y.abs()).max(1.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn ts_spgemm_matches_dense_reference(
+        n in 8usize..=96,
+        d in 1usize..12,
+        p in 1usize..8,
+        deg in 1.0f64..8.0,
+        sparsity in 0.0f64..0.95,
+        seed in 0u64..10_000,
+    ) {
+        let acoo = erdos_renyi(n, deg, seed);
+        let bcoo = random_tall(n, d, sparsity, seed ^ 0x9E37);
+        for accum in [AccumChoice::Spa, AccumChoice::Hash] {
+            oracle_check::<PlusTimesF64>(&acoo, &bcoo, p, accum, close, "(+,x)");
+            // min is order-independent and sel2nd copies its operand, so
+            // the selection semirings must match the reference exactly.
+            oracle_check::<Sel2ndMinF64>(&acoo, &bcoo, p, accum, |x, y| x == y, "(sel2nd,min)");
+            let ab = acoo.map_values(|_| true);
+            let bb = bcoo.map_values(|_| true);
+            oracle_check::<BoolAndOr>(&ab, &bb, p, accum, |x, y| x == y, "(and,or)");
+        }
+    }
+}
