@@ -8,6 +8,7 @@
 
 use tsgemm_core::dist::DistCsr;
 use tsgemm_net::{Comm, Metrics, MetricsRegistry};
+use tsgemm_pool::{nnz_chunks, Job, ThreadPool};
 use tsgemm_sparse::semiring::Semiring;
 use tsgemm_sparse::DenseMat;
 
@@ -61,30 +62,50 @@ pub fn shift_spmm<S: Semiring>(
     let mut c = DenseMat::filled(dist.local_len(me), d, S::zero());
     let mut held: Vec<S::T> = b_dense.data().to_vec();
     let mut flops = 0u64;
+    let pool = ThreadPool::global();
 
     for s in 0..p {
         // After s shifts towards rank+1, we hold the block of rank me - s.
         let q = (me + p - s) % p;
         let (qlo, qhi) = dist.range(q);
 
-        // Multiply A columns in [qlo, qhi) against the held block.
-        for r in 0..a.local.nrows() {
-            let (cols, vals) = a.local.row(r);
-            let start = cols.partition_point(|&cc| cc < qlo);
-            let end = cols.partition_point(|&cc| cc < qhi);
-            for idx in start..end {
-                let col = cols[idx];
-                let va = vals[idx];
-                let ofs = (col - qlo) as usize * d;
-                let brow = &held[ofs..ofs + d];
-                let crow = c.row_mut(r);
-                for j in 0..d {
-                    crow[j] = S::add(crow[j], S::mul(va, brow[j]));
+        // Multiply A columns in [qlo, qhi) against the held block. Output
+        // rows are independent, so nnz-balanced chunks of A's rows each own
+        // a disjoint slice of C (split_at_mut); every row keeps the
+        // sequential fold order, so results are thread-count independent.
+        let chunks = nnz_chunks(a.local.indptr(), pool.nthreads());
+        let mut jobs: Vec<Job<u64>> = Vec::with_capacity(chunks.len());
+        let mut rest: &mut [S::T] = c.data_mut();
+        let mut done = 0usize;
+        let held_ref = &held;
+        let a_local = &a.local;
+        for rows in chunks {
+            let (band, tail) = rest.split_at_mut((rows.end - done) * d);
+            rest = tail;
+            done = rows.end;
+            jobs.push(Box::new(move || {
+                let mut f = 0u64;
+                for r in rows.clone() {
+                    let crow = &mut band[(r - rows.start) * d..(r - rows.start + 1) * d];
+                    let (cols, vals) = a_local.row(r);
+                    let start = cols.partition_point(|&cc| cc < qlo);
+                    let end = cols.partition_point(|&cc| cc < qhi);
+                    for idx in start..end {
+                        let col = cols[idx];
+                        let va = vals[idx];
+                        let ofs = (col - qlo) as usize * d;
+                        let brow = &held_ref[ofs..ofs + d];
+                        for j in 0..d {
+                            crow[j] = S::add(crow[j], S::mul(va, brow[j]));
+                        }
+                        f += d as u64;
+                    }
                 }
-                flops += d as u64;
-            }
+                f
+            }));
         }
-        let _ = (my_lo, qhi);
+        flops += pool.run_jobs(jobs).into_iter().sum::<u64>();
+        let _ = my_lo;
 
         // Ring shift (skipped after the last multiply).
         if s + 1 < p {

@@ -13,7 +13,7 @@ use tsgemm_core::part::BlockDist;
 use tsgemm_core::tiling::csr_from_unique_triplets;
 use tsgemm_net::{Comm, Metrics, MetricsRegistry};
 use tsgemm_sparse::semiring::Semiring;
-use tsgemm_sparse::spgemm::{spgemm, spgemm_flops, AccumChoice};
+use tsgemm_sparse::spgemm::{spgemm_flops, spgemm_par, AccumChoice};
 use tsgemm_sparse::{Coo, Csr, Idx};
 
 use crate::grid::Grid2d;
@@ -150,7 +150,9 @@ pub fn summa_stages<S: Semiring>(
         flops += spgemm_flops(&a_k, &b_k);
         grid.row_comm
             .note_working_set(((a_k.nnz() + b_k.nnz()) * 16) as u64);
-        let c_part = spgemm::<S>(&a_k, &b_k, accum);
+        // Pool-parallel local multiply (byte-identical to `spgemm` for any
+        // thread count); shared by the 2-D and 3-D SUMMA baselines.
+        let c_part = spgemm_par::<S>(&a_k, &b_k, accum);
         for (r, cols, vals) in c_part.iter_rows() {
             for (&c, &v) in cols.iter().zip(vals) {
                 c_trips.push((r as Idx, c, v));
@@ -246,6 +248,7 @@ mod tests {
     use super::*;
     use tsgemm_net::World;
     use tsgemm_sparse::gen::{erdos_renyi, random_tall};
+    use tsgemm_sparse::spgemm::spgemm;
     use tsgemm_sparse::PlusTimesF64;
 
     fn check(n: usize, d: usize, p: usize, acoo: &Coo<f64>, bcoo: &Coo<f64>) {

@@ -8,7 +8,8 @@
 //! (the Table IV default).
 
 use tsgemm_bench::{
-    dataset, env_usize, fmt_bytes, fmt_secs, run_algo_traced, trace_config, Algo, Report, TraceOut,
+    dataset, env_usize, fmt_bytes, fmt_secs, run_algo_traced, thread_sweep, trace_config, Algo,
+    Report, TraceOut,
 };
 use tsgemm_core::mode::ModePolicy;
 use tsgemm_net::CostModel;
@@ -30,39 +31,53 @@ fn main() {
         &["w/(n/p)", "runtime-s", "runtime"],
     );
 
-    for alias in ["uk", "arabic", "er"] {
-        let ds = dataset(alias);
-        let b = random_tall(ds.n, d, sparsity, 0xF05);
-        let max_factor = (ds.n / (ds.n / p).max(1)).max(1); // w = n  ==  factor p
-        let mut factor = 1usize;
-        while factor <= max_factor {
-            let algo = Algo::Ts {
-                policy: ModePolicy::Hybrid,
-                tile_width_factor: Some(factor),
-                tile_height: None,
-            };
-            let (m, trace) =
-                run_algo_traced(&algo, p, &ds.graph, &b, &cm, trace_config(&trace_out));
-            if let Some(out) = &trace_out {
-                out.dump(&format!("{alias}-w{factor}x"), &trace).unwrap();
+    let threads = thread_sweep();
+    for &nt in &threads {
+        tsgemm_pool::set_threads(nt);
+        // Only annotate rows when the user actually asked for a sweep.
+        let tsuf = if threads.len() > 1 {
+            format!(" t{nt}")
+        } else {
+            String::new()
+        };
+        for alias in ["uk", "arabic", "er"] {
+            let ds = dataset(alias);
+            let b = random_tall(ds.n, d, sparsity, 0xF05);
+            let max_factor = (ds.n / (ds.n / p).max(1)).max(1); // w = n  ==  factor p
+            let mut factor = 1usize;
+            while factor <= max_factor {
+                let algo = Algo::Ts {
+                    policy: ModePolicy::Hybrid,
+                    tile_width_factor: Some(factor),
+                    tile_height: None,
+                };
+                let (m, trace) =
+                    run_algo_traced(&algo, p, &ds.graph, &b, &cm, trace_config(&trace_out));
+                if let Some(out) = &trace_out {
+                    out.dump(
+                        &format!("{alias}-w{factor}x{}", tsuf.replace(' ', "-")),
+                        &trace,
+                    )
+                    .unwrap();
+                }
+                mem.push(
+                    format!("{alias} w={factor}x{tsuf}"),
+                    vec![
+                        factor.to_string(),
+                        m.peak_transient_bytes.to_string(),
+                        fmt_bytes(m.peak_transient_bytes),
+                    ],
+                );
+                time.push(
+                    format!("{alias} w={factor}x{tsuf}"),
+                    vec![
+                        factor.to_string(),
+                        format!("{:.6}", m.total_secs()),
+                        fmt_secs(m.total_secs()),
+                    ],
+                );
+                factor *= 2;
             }
-            mem.push(
-                format!("{alias} w={factor}x"),
-                vec![
-                    factor.to_string(),
-                    m.peak_transient_bytes.to_string(),
-                    fmt_bytes(m.peak_transient_bytes),
-                ],
-            );
-            time.push(
-                format!("{alias} w={factor}x"),
-                vec![
-                    factor.to_string(),
-                    format!("{:.6}", m.total_secs()),
-                    fmt_secs(m.total_secs()),
-                ],
-            );
-            factor *= 2;
         }
     }
 

@@ -9,8 +9,8 @@
 //! so sparse wins once fewer than half the entries are stored (§V-C).
 
 use tsgemm_bench::{
-    dataset, env_usize, fmt_bytes, fmt_secs, run_algo, run_algo_traced, trace_config, Algo, Report,
-    TraceOut,
+    dataset, env_usize, fmt_bytes, fmt_secs, run_algo, run_algo_traced, thread_sweep, trace_config,
+    Algo, Report, TraceOut,
 };
 use tsgemm_net::CostModel;
 use tsgemm_sparse::gen::random_tall;
@@ -38,49 +38,63 @@ fn main() {
         &["sparsity%", "spgemm-s", "spmm-s", "shift-s", "winner"],
     );
 
-    for s_pct in [0, 10, 25, 40, 50, 60, 75, 90, 99] {
-        let s = s_pct as f64 / 100.0;
-        let b = random_tall(ds.n, d, s, 0xF07);
-        let (spgemm, sp_trace) =
-            run_algo_traced(&Algo::ts(), p, &ds.graph, &b, &cm, trace_config(&trace_out));
-        if let Some(out) = &trace_out {
-            out.dump(&format!("s{s_pct}-spgemm"), &sp_trace).unwrap();
-        }
-        let spmm = run_algo(&Algo::SpmmTiled, p, &ds.graph, &b, &cm);
-        let shift = run_algo(&Algo::Shift, p, &ds.graph, &b, &cm);
-        vol.push(
-            format!("s={s_pct}%"),
-            vec![
-                s_pct.to_string(),
-                spgemm.comm_bytes.to_string(),
-                spmm.comm_bytes.to_string(),
-                shift.comm_bytes.to_string(),
-                fmt_bytes(spgemm.comm_bytes),
-                fmt_bytes(spmm.comm_bytes),
-            ],
-        );
-        let winner = if spgemm.total_secs() < spmm.total_secs() {
-            "SpGEMM"
+    let threads = thread_sweep();
+    for &nt in &threads {
+        tsgemm_pool::set_threads(nt);
+        // Only annotate rows when the user actually asked for a sweep.
+        let tsuf = if threads.len() > 1 {
+            format!(" t{nt}")
         } else {
-            "SpMM"
+            String::new()
         };
-        time.push(
-            format!("s={s_pct}%"),
-            vec![
-                s_pct.to_string(),
-                format!("{:.6}", spgemm.total_secs()),
-                format!("{:.6}", spmm.total_secs()),
-                format!("{:.6}", shift.total_secs()),
-                winner.to_string(),
-            ],
-        );
-        println!(
-            "s={s_pct:>2}%  spgemm {:>10} / {:>9}   spmm {:>10} / {:>9}",
-            fmt_bytes(spgemm.comm_bytes),
-            fmt_secs(spgemm.total_secs()),
-            fmt_bytes(spmm.comm_bytes),
-            fmt_secs(spmm.total_secs()),
-        );
+        for s_pct in [0, 10, 25, 40, 50, 60, 75, 90, 99] {
+            let s = s_pct as f64 / 100.0;
+            let b = random_tall(ds.n, d, s, 0xF07);
+            let (spgemm, sp_trace) =
+                run_algo_traced(&Algo::ts(), p, &ds.graph, &b, &cm, trace_config(&trace_out));
+            if let Some(out) = &trace_out {
+                out.dump(
+                    &format!("s{s_pct}-spgemm{}", tsuf.replace(' ', "-")),
+                    &sp_trace,
+                )
+                .unwrap();
+            }
+            let spmm = run_algo(&Algo::SpmmTiled, p, &ds.graph, &b, &cm);
+            let shift = run_algo(&Algo::Shift, p, &ds.graph, &b, &cm);
+            vol.push(
+                format!("s={s_pct}%{tsuf}"),
+                vec![
+                    s_pct.to_string(),
+                    spgemm.comm_bytes.to_string(),
+                    spmm.comm_bytes.to_string(),
+                    shift.comm_bytes.to_string(),
+                    fmt_bytes(spgemm.comm_bytes),
+                    fmt_bytes(spmm.comm_bytes),
+                ],
+            );
+            let winner = if spgemm.total_secs() < spmm.total_secs() {
+                "SpGEMM"
+            } else {
+                "SpMM"
+            };
+            time.push(
+                format!("s={s_pct}%{tsuf}"),
+                vec![
+                    s_pct.to_string(),
+                    format!("{:.6}", spgemm.total_secs()),
+                    format!("{:.6}", spmm.total_secs()),
+                    format!("{:.6}", shift.total_secs()),
+                    winner.to_string(),
+                ],
+            );
+            println!(
+                "s={s_pct:>2}%  spgemm {:>10} / {:>9}   spmm {:>10} / {:>9}",
+                fmt_bytes(spgemm.comm_bytes),
+                fmt_secs(spgemm.total_secs()),
+                fmt_bytes(spmm.comm_bytes),
+                fmt_secs(spmm.total_secs()),
+            );
+        }
     }
 
     vol.print();

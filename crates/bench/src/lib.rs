@@ -33,3 +33,41 @@ pub fn env_usize(name: &str, default: usize) -> usize {
         .and_then(|s| s.parse().ok())
         .unwrap_or(default)
 }
+
+/// Intra-rank thread counts to sweep, from `--threads=1,2,4` (or
+/// `--threads 1,2,4`) on the command line. Without the flag the sweep is a
+/// single entry — the pool's configured size (`TSGEMM_THREADS` or the host
+/// parallelism) — so default harness output is unchanged.
+pub fn thread_sweep() -> Vec<usize> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut list: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(rest) = args[i].strip_prefix("--threads=") {
+            list = Some(rest.to_string());
+        } else if args[i] == "--threads" {
+            if let Some(next) = args.get(i + 1) {
+                if !next.starts_with("--") {
+                    list = Some(next.clone());
+                    i += 1;
+                }
+            }
+        }
+        i += 1;
+    }
+    match list {
+        Some(csv) => {
+            let v: Vec<usize> = csv
+                .split(',')
+                .filter_map(|s| s.trim().parse().ok())
+                .filter(|&t| t >= 1)
+                .collect();
+            assert!(
+                !v.is_empty(),
+                "--threads needs a comma-separated list of counts"
+            );
+            v
+        }
+        None => vec![tsgemm_pool::configured_threads()],
+    }
+}

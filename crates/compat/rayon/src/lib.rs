@@ -4,14 +4,15 @@
 //! (`into_par_iter` on ranges, `step_by`/`map`/`flat_map_iter`/`collect`) are
 //! all order-preserving in rayon's `collect`, so a sequential execution is
 //! observationally identical — only wall-clock speedup is lost, which no test
-//! asserts on. `current_num_threads` still reports real hardware parallelism
-//! so chunking code paths stay exercised.
+//! asserts on. The hot kernels now run on the real `tsgemm-pool` executor;
+//! this shim remains for call sites that only need iterator *shape*, and
+//! `current_num_threads` delegates to the pool's configured size so chunking
+//! code paths see the truth instead of phantom hardware parallelism.
 
-/// Mirrors `rayon::current_num_threads`: the would-be pool size.
+/// Mirrors `rayon::current_num_threads`: the configured `tsgemm-pool` size
+/// (`TSGEMM_THREADS` / `set_threads`), not raw hardware parallelism.
 pub fn current_num_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    tsgemm_pool::configured_threads()
 }
 
 /// Sequential stand-in for rayon's parallel iterator.

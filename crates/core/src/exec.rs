@@ -24,6 +24,7 @@ use crate::tiling::{subtile_csr, TileBuckets, Tiling};
 use std::collections::HashMap;
 use std::time::Instant;
 use tsgemm_net::{Comm, CommError, Metrics, MetricsRegistry};
+use tsgemm_pool::{nnz_chunks_range, ThreadPool};
 use tsgemm_sparse::accum::{Accumulator, HashAccum, Spa};
 use tsgemm_sparse::semiring::Semiring;
 use tsgemm_sparse::spgemm::{spgemm, spgemm_flops, AccumChoice};
@@ -242,6 +243,7 @@ pub fn try_ts_spgemm<S: Semiring>(
     let trip_bytes = std::mem::size_of::<Trip<S::T>>() as u64;
     let mut flops = 0u64;
     let trace = comm.trace_on();
+    let pool = ThreadPool::global();
 
     for rb in 0..tiling.n_row_bands {
         for cb in 0..tiling.n_col_bands {
@@ -351,62 +353,46 @@ pub fn try_ts_spgemm<S: Semiring>(
 
             let (band_lo, band_hi) = tiling.band_range(me, rb);
             let (cb_lo, cb_hi) = tiling.col_band_range(cb);
-            for g_row in band_lo..band_hi {
-                let r_local = (g_row - my_lo) as usize;
-                let (cols, vals) = a.local.row(r_local);
-                let start = cols.partition_point(|&c| c < cb_lo);
-                let end = cols.partition_point(|&c| c < cb_hi);
-                let mut touched = false;
-                for idx in start..end {
-                    let c = cols[idx];
-                    let va = vals[idx];
-                    let j = dist.owner(c);
-                    if j == me {
-                        // Diagonal: B row is local.
-                        let (bc, bv) = b.local.row((c - my_lo) as usize);
-                        for (&bcol, &bval) in bc.iter().zip(bv) {
-                            accumulate(use_spa, &mut spa, &mut hash, bcol, S::mul(va, bval));
-                            flops += 1;
-                            touched = true;
-                        }
-                    } else {
-                        match modes.own.get(&(rb as u32, cb as u32, j)) {
-                            Some(TileMode::Local) => {
-                                if let Some(&(lo_e, hi_e)) = brow_index.get(&c) {
-                                    for &(bcol, bval) in &brow_entries[lo_e as usize..hi_e as usize]
-                                    {
-                                        accumulate(
-                                            use_spa,
-                                            &mut spa,
-                                            &mut hash,
-                                            bcol,
-                                            S::mul(va, bval),
-                                        );
-                                        flops += 1;
-                                        touched = true;
-                                    }
-                                }
-                            }
-                            Some(TileMode::Remote) => { /* partial arrives below */ }
-                            None => {
-                                // The serving rank saw no entries for this
-                                // sub-tile, yet we hold one: A and A^c have
-                                // diverged, which is a bug.
-                                unreachable!("sub-tile ({rb},{cb}) served by {j} has no mode");
-                            }
-                        }
+            let ctx = OwnerCtx::<S> {
+                my_lo,
+                cb_lo,
+                cb_hi,
+                rb: rb as u32,
+                cb: cb as u32,
+                me,
+                dist,
+                a_local: &a.local,
+                b_local: &b.local,
+                own: &modes.own,
+                brow_index: &brow_index,
+                brow_entries: &brow_entries,
+                use_spa,
+            };
+            let lo_l = (band_lo - my_lo) as usize;
+            let hi_l = (band_hi - my_lo) as usize;
+            if pool.nthreads() == 1 {
+                flops += owner_rows(&ctx, lo_l..hi_l, &mut spa, &mut hash, &mut out_trips);
+            } else {
+                // nnz-balanced chunks over this band of A's local rows; one
+                // private accumulator per chunk (the paper's per-thread SPA),
+                // per-chunk triplets concatenated in row order so the output
+                // sequence is byte-identical to the sequential pass.
+                let chunks = nnz_chunks_range(a.local.indptr(), lo_l, hi_l, pool.nthreads());
+                let parts = pool.run(chunks.len(), |k| {
+                    let t0 = trace.then(Instant::now);
+                    let mut c_spa: Spa<S> = Spa::new(if use_spa { d } else { 1 });
+                    let mut c_hash: HashAccum<S> = HashAccum::with_capacity(64);
+                    let mut trips = Vec::new();
+                    let f =
+                        owner_rows(&ctx, chunks[k].clone(), &mut c_spa, &mut c_hash, &mut trips);
+                    (trips, f, t0.map(|t| (t, Instant::now())))
+                });
+                for (k, (trips, f, span)) in parts.into_iter().enumerate() {
+                    out_trips.extend(trips);
+                    flops += f;
+                    if let Some((s0, e0)) = span {
+                        comm.record_span_between(format!("{}:kernel:t{k}", cfg.tag), s0, e0);
                     }
-                }
-                if touched {
-                    drain(
-                        use_spa,
-                        &mut spa,
-                        &mut hash,
-                        (g_row - my_lo) as Idx,
-                        &mut out_trips,
-                    );
-                } else {
-                    reset(use_spa, &mut spa, &mut hash);
                 }
             }
 
@@ -435,6 +421,83 @@ pub fn try_ts_spgemm<S: Semiring>(
 
     let c = Coo::from_entries(a.local_rows(), d, out_trips).to_csr::<S>();
     Ok((c, stats))
+}
+
+/// Shared-read context for the tile-owner multiply over one `(rb, cb)`
+/// band: everything a worker needs to process a chunk of local rows.
+struct OwnerCtx<'a, S: Semiring> {
+    my_lo: Idx,
+    cb_lo: Idx,
+    cb_hi: Idx,
+    rb: u32,
+    cb: u32,
+    me: usize,
+    dist: BlockDist,
+    a_local: &'a Csr<S::T>,
+    b_local: &'a Csr<S::T>,
+    own: &'a HashMap<(u32, u32, usize), TileMode>,
+    brow_index: &'a HashMap<Idx, (u32, u32)>,
+    brow_entries: &'a [(Idx, S::T)],
+    use_spa: bool,
+}
+
+/// The tile-owner multiply for a contiguous range of *local* rows: Gustavson
+/// over the tile's column slice, draining each touched row into `out` as
+/// local-row triplets. Per-row output depends only on that row's
+/// accumulate/drain sequence, so any partition of the band into ranges,
+/// concatenated in order, reproduces the full-band pass exactly.
+fn owner_rows<S: Semiring>(
+    ctx: &OwnerCtx<'_, S>,
+    rows: std::ops::Range<usize>,
+    spa: &mut Spa<S>,
+    hash: &mut HashAccum<S>,
+    out: &mut Vec<(Idx, Idx, S::T)>,
+) -> u64 {
+    let mut flops = 0u64;
+    for r_local in rows {
+        let (cols, vals) = ctx.a_local.row(r_local);
+        let start = cols.partition_point(|&c| c < ctx.cb_lo);
+        let end = cols.partition_point(|&c| c < ctx.cb_hi);
+        let mut touched = false;
+        for idx in start..end {
+            let c = cols[idx];
+            let va = vals[idx];
+            let j = ctx.dist.owner(c);
+            if j == ctx.me {
+                // Diagonal: B row is local.
+                let (bc, bv) = ctx.b_local.row((c - ctx.my_lo) as usize);
+                for (&bcol, &bval) in bc.iter().zip(bv) {
+                    accumulate(ctx.use_spa, spa, hash, bcol, S::mul(va, bval));
+                    flops += 1;
+                    touched = true;
+                }
+            } else {
+                match ctx.own.get(&(ctx.rb, ctx.cb, j)) {
+                    Some(TileMode::Local) => {
+                        if let Some(&(lo_e, hi_e)) = ctx.brow_index.get(&c) {
+                            for &(bcol, bval) in &ctx.brow_entries[lo_e as usize..hi_e as usize] {
+                                accumulate(ctx.use_spa, spa, hash, bcol, S::mul(va, bval));
+                                flops += 1;
+                                touched = true;
+                            }
+                        }
+                    }
+                    Some(TileMode::Remote) => { /* partial arrives below */ }
+                    None => {
+                        // The serving rank saw no entries for this sub-tile,
+                        // yet we hold one: A and A^c have diverged — a bug.
+                        unreachable!("sub-tile ({},{}) served by {j} has no mode", ctx.rb, ctx.cb);
+                    }
+                }
+            }
+        }
+        if touched {
+            drain(ctx.use_spa, spa, hash, r_local as Idx, out);
+        } else {
+            reset(ctx.use_spa, spa, hash);
+        }
+    }
+    flops
 }
 
 #[inline]

@@ -13,7 +13,7 @@ use crate::tiling::csr_from_unique_triplets;
 use std::collections::HashMap;
 use tsgemm_net::Comm;
 use tsgemm_sparse::semiring::Semiring;
-use tsgemm_sparse::spgemm::{spgemm, spgemm_flops, AccumChoice};
+use tsgemm_sparse::spgemm::{spgemm_flops, spgemm_par, AccumChoice};
 use tsgemm_sparse::{Csr, Idx};
 
 /// Per-rank statistics of a naive multiply.
@@ -156,7 +156,9 @@ pub fn naive_spgemm<S: Semiring>(
         resident_b_bytes + (b_compact.nnz() * std::mem::size_of::<Trip<S::T>>()) as u64,
     );
     comm.add_flops(flops);
-    let c = spgemm::<S>(&a_compact, &b_compact, accum);
+    // Pool-parallel local multiply; byte-identical to the sequential kernel
+    // for any thread count (nnz-balanced chunks, ordered concatenation).
+    let c = spgemm_par::<S>(&a_compact, &b_compact, accum);
 
     let stats = NaiveLocalStats {
         flops,
@@ -176,6 +178,7 @@ mod tests {
     use crate::part::BlockDist;
     use tsgemm_net::World;
     use tsgemm_sparse::gen::{erdos_renyi, random_tall};
+    use tsgemm_sparse::spgemm::spgemm;
     use tsgemm_sparse::{Coo, PlusTimesF64};
 
     fn run_naive(n: usize, d: usize, p: usize, acoo: &Coo<f64>, bcoo: &Coo<f64>) -> Csr<f64> {

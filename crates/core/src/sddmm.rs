@@ -13,7 +13,9 @@ use crate::colpart::{ColBlocks, Trip};
 use crate::dist::DistCsr;
 use crate::tiling::{csr_from_unique_triplets, TileBuckets, Tiling};
 use std::collections::HashMap;
+use std::time::Instant;
 use tsgemm_net::Comm;
+use tsgemm_pool::{nnz_chunks_range, ThreadPool};
 use tsgemm_sparse::{Csr, Idx};
 
 /// Per-rank statistics of one SDDMM.
@@ -92,7 +94,7 @@ pub fn dist_sddmm(
     sc: &ColBlocks<f64>,
     z: &DistCsr<f64>,
     cfg: &SddmmConfig,
-    f: impl Fn(f64, f64) -> f64,
+    f: impl Fn(f64, f64) -> f64 + Sync,
 ) -> (Csr<f64>, SddmmLocalStats) {
     let me = comm.rank();
     let p = comm.size();
@@ -117,6 +119,8 @@ pub fn dist_sddmm(
         steps: tiling.steps() as u64,
         ..SddmmLocalStats::default()
     };
+    let trace = comm.trace_on();
+    let pool = ThreadPool::global();
 
     for rb in 0..tiling.n_row_bands {
         for cb in 0..tiling.n_col_bands {
@@ -171,40 +175,62 @@ pub fn dist_sddmm(
             comm.note_working_set((entries.len() * std::mem::size_of::<Trip<f64>>()) as u64);
 
             // Owner role: per stored S entry in this tile, the sparse dot.
+            // Every output entry is a pure function of its own S entry and
+            // the two Z rows, so nnz-balanced chunks of the band (with
+            // job-local scratch) concatenated in row order reproduce the
+            // sequential triplet sequence exactly.
             let (band_lo, band_hi) = tiling.band_range(me, rb);
             let (cb_lo, cb_hi) = tiling.col_band_range(cb);
-            let mut zc_cols: Vec<Idx> = Vec::new();
-            let mut zc_vals: Vec<f64> = Vec::new();
-            for g_row in band_lo..band_hi {
-                let r_local = (g_row - my_lo) as usize;
-                let (scols, svals) = s.local.row(r_local);
-                let (zr_cols, zr_vals) = z.local.row(r_local);
-                let start = scols.partition_point(|&c| c < cb_lo);
-                let end = scols.partition_point(|&c| c < cb_hi);
-                for idx in start..end {
-                    let c = scols[idx];
-                    let sv = svals[idx];
-                    let dot;
-                    if dist.owner(c) == me {
-                        let (cc, cv) = z.local.row((c - my_lo) as usize);
-                        let (d0, w0) = sparse_dot(zr_cols, zr_vals, cc, cv);
-                        dot = d0;
-                        flops += w0;
-                    } else if let Some(&(lo_e, hi_e)) = index.get(&c) {
-                        zc_cols.clear();
-                        zc_vals.clear();
-                        for &(col, val) in &entries[lo_e as usize..hi_e as usize] {
-                            zc_cols.push(col);
-                            zc_vals.push(val);
+            let lo_l = (band_lo - my_lo) as usize;
+            let hi_l = (band_hi - my_lo) as usize;
+            let chunks = nnz_chunks_range(s.local.indptr(), lo_l, hi_l, pool.nthreads());
+            let f = &f;
+            let index = &index;
+            let entries = &entries;
+            let parts = pool.run(chunks.len(), |ci| {
+                let t0 = trace.then(Instant::now);
+                let mut trips: Vec<(Idx, Idx, f64)> = Vec::new();
+                let mut w = 0u64;
+                let mut zc_cols: Vec<Idx> = Vec::new();
+                let mut zc_vals: Vec<f64> = Vec::new();
+                for r_local in chunks[ci].clone() {
+                    let (scols, svals) = s.local.row(r_local);
+                    let (zr_cols, zr_vals) = z.local.row(r_local);
+                    let start = scols.partition_point(|&c| c < cb_lo);
+                    let end = scols.partition_point(|&c| c < cb_hi);
+                    for idx in start..end {
+                        let c = scols[idx];
+                        let sv = svals[idx];
+                        let dot;
+                        if dist.owner(c) == me {
+                            let (cc, cv) = z.local.row((c - my_lo) as usize);
+                            let (d0, w0) = sparse_dot(zr_cols, zr_vals, cc, cv);
+                            dot = d0;
+                            w += w0;
+                        } else if let Some(&(lo_e, hi_e)) = index.get(&c) {
+                            zc_cols.clear();
+                            zc_vals.clear();
+                            for &(col, val) in &entries[lo_e as usize..hi_e as usize] {
+                                zc_cols.push(col);
+                                zc_vals.push(val);
+                            }
+                            let (d0, w0) = sparse_dot(zr_cols, zr_vals, &zc_cols, &zc_vals);
+                            dot = d0;
+                            w += w0;
+                        } else {
+                            // The Z row is empty everywhere: dot is zero.
+                            dot = 0.0;
                         }
-                        let (d0, w0) = sparse_dot(zr_cols, zr_vals, &zc_cols, &zc_vals);
-                        dot = d0;
-                        flops += w0;
-                    } else {
-                        // The Z row is empty everywhere: dot is zero.
-                        dot = 0.0;
+                        trips.push((r_local as Idx, c, f(sv, dot)));
                     }
-                    out_trips.push((r_local as Idx, c, f(sv, dot)));
+                }
+                (trips, w, t0.map(|t| (t, Instant::now())))
+            });
+            for (k, (trips, w, span)) in parts.into_iter().enumerate() {
+                out_trips.extend(trips);
+                flops += w;
+                if let Some((s0, e0)) = span {
+                    comm.record_span_between(format!("{}:kernel:t{k}", cfg.tag), s0, e0);
                 }
             }
         }

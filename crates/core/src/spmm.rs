@@ -16,7 +16,9 @@ use crate::colpart::ColBlocks;
 use crate::dist::DistCsr;
 use crate::tiling::{TileBuckets, Tiling};
 use std::collections::HashMap;
+use std::time::Instant;
 use tsgemm_net::Comm;
+use tsgemm_pool::{nnz_chunks_range, Job, ThreadPool};
 use tsgemm_sparse::semiring::Semiring;
 use tsgemm_sparse::{DenseMat, Idx};
 
@@ -121,6 +123,8 @@ pub fn dist_spmm<S: Semiring>(
     };
     let (bcol_lo, _) = ac.col_range();
     let mut flops = 0u64;
+    let trace = comm.trace_on();
+    let pool = ThreadPool::global();
 
     for rb in 0..tiling.n_row_bands {
         for cb in 0..tiling.n_col_bands {
@@ -164,27 +168,58 @@ pub fn dist_spmm<S: Semiring>(
             comm.note_working_set(recv_bytes);
             let (band_lo, band_hi) = tiling.band_range(me, rb);
             let (cb_lo, cb_hi) = tiling.col_band_range(cb);
-            for g_row in band_lo..band_hi {
-                let r_local = (g_row - my_lo) as usize;
-                let (cols, vals) = a.local.row(r_local);
-                let start = cols.partition_point(|&c| c < cb_lo);
-                let end = cols.partition_point(|&c| c < cb_hi);
-                for idx in start..end {
-                    let col = cols[idx];
-                    let va = vals[idx];
-                    let brow: &[S::T] = if dist.owner(col) == me {
-                        b_dense.row((col - my_lo) as usize)
-                    } else {
-                        let &(src, ofs) = row_at
-                            .get(&col)
-                            .expect("needed dense B row must have been shipped");
-                        &val_recv[src][ofs..ofs + d]
-                    };
-                    let crow = c.row_mut(r_local);
-                    for j in 0..d {
-                        crow[j] = S::add(crow[j], S::mul(va, brow[j]));
+            let lo_l = (band_lo - my_lo) as usize;
+            let hi_l = (band_hi - my_lo) as usize;
+            // Rows are independent, so each nnz-balanced chunk of the band
+            // owns a disjoint slice of C (split_at_mut) and writes it
+            // directly; every row is the same left-to-right fold as the
+            // sequential kernel, so the result is thread-count independent.
+            // Each job returns (flops, optional kernel span endpoints).
+            type JobOut = (u64, Option<(Instant, Instant)>);
+            let chunks = nnz_chunks_range(a.local.indptr(), lo_l, hi_l, pool.nthreads());
+            let mut jobs: Vec<Job<JobOut>> = Vec::with_capacity(chunks.len());
+            let mut rest: &mut [S::T] = &mut c.data_mut()[lo_l * d..hi_l * d];
+            let mut done = lo_l;
+            for rows in chunks {
+                let (band, tail) = rest.split_at_mut((rows.end - done) * d);
+                rest = tail;
+                done = rows.end;
+                let a_local = &a.local;
+                let row_at = &row_at;
+                let val_recv = &val_recv;
+                jobs.push(Box::new(move || {
+                    let t0 = trace.then(Instant::now);
+                    let mut f = 0u64;
+                    for r_local in rows.clone() {
+                        let crow =
+                            &mut band[(r_local - rows.start) * d..(r_local - rows.start + 1) * d];
+                        let (cols, vals) = a_local.row(r_local);
+                        let start = cols.partition_point(|&c| c < cb_lo);
+                        let end = cols.partition_point(|&c| c < cb_hi);
+                        for idx in start..end {
+                            let col = cols[idx];
+                            let va = vals[idx];
+                            let brow: &[S::T] = if dist.owner(col) == me {
+                                b_dense.row((col - my_lo) as usize)
+                            } else {
+                                let &(src, ofs) = row_at
+                                    .get(&col)
+                                    .expect("needed dense B row must have been shipped");
+                                &val_recv[src][ofs..ofs + d]
+                            };
+                            for j in 0..d {
+                                crow[j] = S::add(crow[j], S::mul(va, brow[j]));
+                            }
+                            f += d as u64;
+                        }
                     }
-                    flops += d as u64;
+                    (f, t0.map(|t| (t, Instant::now())))
+                }));
+            }
+            for (k, (f, span)) in pool.run_jobs(jobs).into_iter().enumerate() {
+                flops += f;
+                if let Some((s0, e0)) = span {
+                    comm.record_span_between(format!("{}:kernel:t{k}", cfg.tag), s0, e0);
                 }
             }
         }

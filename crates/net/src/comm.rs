@@ -213,6 +213,15 @@ impl Comm {
         self.profile.lock().record_span(tag.into(), started);
     }
 
+    /// Records a phase span with explicit endpoints, for intervals timed on
+    /// worker threads and logged by the rank after the pool join (one
+    /// Chrome-trace lane per distinct tag, e.g. `ts:kernel:t3`).
+    pub fn record_span_between(&self, tag: impl Into<String>, started: Instant, ended: Instant) {
+        self.profile
+            .lock()
+            .record_span_between(tag.into(), started, ended);
+    }
+
     fn next_seq(&mut self) -> u64 {
         let s = self.seq;
         self.seq += 1;

@@ -140,11 +140,17 @@ impl RankProfile {
 
     /// Records a phase span that started at `started` and ends now.
     pub fn record_span(&mut self, tag: String, started: Instant) {
-        let end = Instant::now();
+        self.record_span_between(tag, started, Instant::now());
+    }
+
+    /// Records a phase span with both endpoints supplied by the caller.
+    /// Lets worker threads time their own chunks and the owning rank log
+    /// them after the join (per-thread kernel lanes in the Chrome trace).
+    pub fn record_span_between(&mut self, tag: String, started: Instant, ended: Instant) {
         self.spans.push(PhaseSpan {
             tag,
             start_secs: started.duration_since(self.epoch).as_secs_f64(),
-            end_secs: end.duration_since(self.epoch).as_secs_f64(),
+            end_secs: ended.duration_since(self.epoch).as_secs_f64(),
         });
     }
 

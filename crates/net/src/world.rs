@@ -102,6 +102,20 @@ impl World {
         Self::run_traced(p, TraceConfig::disabled(), f)
     }
 
+    /// [`World::run`] with the intra-rank kernel thread count pinned first:
+    /// sets the process-wide `tsgemm-pool` size (overriding
+    /// `TSGEMM_THREADS`), so every rank's pool-parallel kernels run on
+    /// `threads` workers. Kernel outputs are thread-count independent by
+    /// construction; this only changes intra-rank scheduling.
+    pub fn run_with_threads<R, F>(p: usize, threads: usize, f: F) -> RunOutput<R>
+    where
+        R: Send,
+        F: Fn(&mut Comm) -> R + Send + Sync,
+    {
+        tsgemm_pool::set_threads(threads);
+        Self::run(p, f)
+    }
+
     /// [`World::run`] with algorithm-level trace instrumentation switched by
     /// `trace`: when enabled, instrumented algorithms record phase spans
     /// into the profiles and counters into the per-rank metrics registries.

@@ -1,0 +1,376 @@
+//! Deterministic intra-rank thread pool.
+//!
+//! The paper's single-node kernels are multithreaded (§III-C: each of the
+//! `t` threads runs Gustavson's algorithm over a band of output rows with a
+//! *private* SPA or hash accumulator). The offline build environment cannot
+//! pull real rayon, so this crate provides the minimal executor the kernels
+//! need, built directly on [`std::thread::scope`]:
+//!
+//! * [`ThreadPool::run`] — execute `njobs` indexed closures on up to
+//!   `nthreads` worker threads and return the results **in job-index
+//!   order**, regardless of which thread ran which job or in what order
+//!   they finished. Work is claimed from a shared atomic counter, so a
+//!   straggler chunk never idles the other workers.
+//! * [`ThreadPool::run_jobs`] — same, for a `Vec` of boxed `FnOnce` jobs
+//!   that each own non-overlapping `&mut` state (e.g. disjoint output
+//!   slices from `split_at_mut`).
+//! * [`nnz_chunks`] / [`nnz_chunks_range`] — the deterministic nnz-balanced
+//!   row chunker: boundaries depend only on the CSR `indptr` and the chunk
+//!   count, never on timing, so the *assignment* of rows to chunks is
+//!   reproducible and the ordered concatenation of per-chunk outputs is
+//!   byte-identical to a sequential left-to-right pass.
+//!
+//! Thread count resolves, in order: an explicit [`ThreadPool::new`] at the
+//! call site, [`set_threads`] (used by `World::run_with_threads` and the
+//! bench `--threads` flag), the `TSGEMM_THREADS` environment variable, and
+//! finally [`std::thread::available_parallelism`]. Because scheduling only
+//! decides *who computes a chunk*, never *what a chunk contains*, results
+//! are independent of this setting; only wall-clock changes.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Process-wide configured thread count; 0 means "not yet resolved".
+static CONFIGURED: AtomicUsize = AtomicUsize::new(0);
+
+/// Environment variable that sets the default intra-rank thread count.
+pub const THREADS_ENV: &str = "TSGEMM_THREADS";
+
+fn threads_from_env() -> Option<usize> {
+    let raw = std::env::var(THREADS_ENV).ok()?;
+    raw.trim().parse::<usize>().ok().map(|n| n.max(1))
+}
+
+fn hardware_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// The pool size new [`ThreadPool::global`] handles will use: the last
+/// [`set_threads`] value, else `TSGEMM_THREADS`, else hardware parallelism.
+pub fn configured_threads() -> usize {
+    let n = CONFIGURED.load(Ordering::Relaxed);
+    if n != 0 {
+        return n;
+    }
+    let resolved = threads_from_env().unwrap_or_else(hardware_threads);
+    // A racing first call computes the same value; last store wins harmlessly.
+    CONFIGURED.store(resolved, Ordering::Relaxed);
+    resolved
+}
+
+/// Overrides the process-wide default thread count (clamped to ≥ 1).
+///
+/// Kernel *output* is thread-count independent by construction, so mutating
+/// this mid-run can only change timing, never results.
+pub fn set_threads(n: usize) {
+    CONFIGURED.store(n.max(1), Ordering::Relaxed);
+}
+
+/// A fixed-width scoped executor. Cheap to copy; worker threads live only
+/// for the duration of each `run*` call (scoped spawn), so jobs may borrow
+/// from the caller's stack without `'static` bounds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ThreadPool {
+    nthreads: usize,
+}
+
+impl ThreadPool {
+    /// A pool that runs jobs on up to `nthreads` workers (clamped to ≥ 1).
+    pub fn new(nthreads: usize) -> Self {
+        Self {
+            nthreads: nthreads.max(1),
+        }
+    }
+
+    /// A pool sized by [`configured_threads`].
+    pub fn global() -> Self {
+        Self::new(configured_threads())
+    }
+
+    /// Configured width of this pool.
+    pub fn nthreads(&self) -> usize {
+        self.nthreads
+    }
+
+    /// Runs `job(0), …, job(njobs-1)` across the pool and returns the
+    /// results indexed by job, in order. With one worker (or one job) this
+    /// degenerates to a plain sequential loop on the calling thread — no
+    /// spawn, no synchronisation — so `nthreads == 1` is exactly the
+    /// sequential path.
+    pub fn run<T, F>(&self, njobs: usize, job: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        if njobs == 0 {
+            return Vec::new();
+        }
+        let workers = self.nthreads.min(njobs);
+        if workers <= 1 {
+            return (0..njobs).map(job).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<T>>> = (0..njobs).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= njobs {
+                        break;
+                    }
+                    let out = job(i);
+                    *slots[i].lock().unwrap() = Some(out);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .unwrap()
+                    .expect("every job index was claimed")
+            })
+            .collect()
+    }
+
+    /// Runs a vector of one-shot jobs (each may own disjoint `&mut` borrows,
+    /// e.g. slices from `split_at_mut`) and returns their results in job
+    /// order. Jobs are claimed from an atomic counter like [`Self::run`].
+    pub fn run_jobs<'env, T: Send>(&self, jobs: Vec<Job<'env, T>>) -> Vec<T> {
+        let njobs = jobs.len();
+        if njobs == 0 {
+            return Vec::new();
+        }
+        let workers = self.nthreads.min(njobs);
+        if workers <= 1 {
+            return jobs.into_iter().map(|j| j()).collect();
+        }
+        let jobs: Vec<Mutex<Option<Job<'env, T>>>> =
+            jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<T>>> = (0..njobs).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= njobs {
+                        break;
+                    }
+                    let job = jobs[i].lock().unwrap().take().expect("job claimed once");
+                    *slots[i].lock().unwrap() = Some(job());
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .unwrap()
+                    .expect("every job index was claimed")
+            })
+            .collect()
+    }
+}
+
+impl Default for ThreadPool {
+    fn default() -> Self {
+        Self::global()
+    }
+}
+
+/// A boxed one-shot job for [`ThreadPool::run_jobs`].
+pub type Job<'env, T> = Box<dyn FnOnce() -> T + Send + 'env>;
+
+/// Splits rows `0..nrows` into exactly `nchunks` contiguous ranges whose
+/// nnz counts (per the CSR prefix sum `indptr`) are as equal as integer
+/// boundaries allow. See [`nnz_chunks_range`].
+pub fn nnz_chunks(indptr: &[usize], nchunks: usize) -> Vec<Range<usize>> {
+    nnz_chunks_range(indptr, 0, indptr.len().saturating_sub(1), nchunks)
+}
+
+/// Splits rows `lo..hi` into exactly `nchunks` contiguous, possibly empty
+/// ranges balanced by nnz.
+///
+/// The `k`-th boundary is the first row whose cumulative nnz reaches
+/// `k/nchunks` of the span's total — found by binary search on `indptr`, so
+/// boundaries are a pure function of `(indptr, lo, hi, nchunks)`:
+/// deterministic across runs and machines. When the span holds no nonzeros
+/// at all the split degrades to even row counts so empty-matrix work (e.g.
+/// symbolic passes) still spreads. The ranges always tile `[lo, hi)`
+/// exactly: `r[0].start == lo`, `r[k].end == r[k+1].start`,
+/// `r[last].end == hi`.
+///
+/// # Panics
+/// Panics if `nchunks == 0`, `lo > hi`, or `hi >= indptr.len()` (i.e. the
+/// span must lie within a well-formed `indptr` of length `nrows + 1`).
+pub fn nnz_chunks_range(
+    indptr: &[usize],
+    lo: usize,
+    hi: usize,
+    nchunks: usize,
+) -> Vec<Range<usize>> {
+    assert!(nchunks >= 1, "need at least one chunk");
+    assert!(
+        lo <= hi && hi < indptr.len(),
+        "row span {lo}..{hi} out of bounds for indptr of len {}",
+        indptr.len()
+    );
+    let base = indptr[lo] as u128;
+    let total = (indptr[hi] - indptr[lo]) as u128;
+    let mut bounds = Vec::with_capacity(nchunks + 1);
+    bounds.push(lo);
+    for k in 1..nchunks {
+        let cut = if total == 0 {
+            lo + (hi - lo) * k / nchunks
+        } else {
+            let target = base + total * k as u128 / nchunks as u128;
+            lo + indptr[lo..=hi].partition_point(|&x| (x as u128) < target)
+        };
+        // Monotone targets give monotone cuts; clamp anyway for safety.
+        bounds.push(cut.clamp(*bounds.last().unwrap(), hi));
+    }
+    bounds.push(hi);
+    bounds.windows(2).map(|w| w[0]..w[1]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Chunks must tile `[lo, hi)` exactly: contiguous, in order, no gaps.
+    fn assert_tiles(chunks: &[Range<usize>], lo: usize, hi: usize, nchunks: usize) {
+        assert_eq!(chunks.len(), nchunks);
+        assert_eq!(chunks[0].start, lo);
+        assert_eq!(chunks[nchunks - 1].end, hi);
+        for w in chunks.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+    }
+
+    #[test]
+    fn chunker_all_empty_rows_splits_evenly() {
+        // 9 rows, zero nnz: falls back to even row counts.
+        let indptr = vec![0usize; 10];
+        let chunks = nnz_chunks(&indptr, 3);
+        assert_tiles(&chunks, 0, 9, 3);
+        assert_eq!(chunks, vec![0..3, 3..6, 6..9]);
+    }
+
+    #[test]
+    fn chunker_one_giant_row_dominates() {
+        // Row 2 holds 1000 of 1003 nonzeros; it must land alone-ish in one
+        // chunk and the boundaries must still tile [0, 5).
+        let indptr = vec![0, 1, 2, 1002, 1002, 1003];
+        let chunks = nnz_chunks(&indptr, 4);
+        assert_tiles(&chunks, 0, 5, 4);
+        // The giant row sits in exactly one chunk.
+        let owner: Vec<_> = chunks.iter().filter(|r| r.contains(&2)).collect();
+        assert_eq!(owner.len(), 1);
+    }
+
+    #[test]
+    fn chunker_more_threads_than_rows() {
+        let indptr = vec![0, 4, 8];
+        let chunks = nnz_chunks(&indptr, 8);
+        assert_tiles(&chunks, 0, 2, 8);
+        assert_eq!(chunks.iter().filter(|r| !r.is_empty()).count(), 2);
+    }
+
+    #[test]
+    fn chunker_zero_row_matrix() {
+        let indptr = vec![0usize];
+        let chunks = nnz_chunks(&indptr, 4);
+        assert_tiles(&chunks, 0, 0, 4);
+        assert!(chunks.iter().all(|r| r.is_empty()));
+    }
+
+    #[test]
+    fn chunker_is_deterministic_and_balanced() {
+        // Skewed synthetic prefix sum; boundaries must be reproducible and
+        // each chunk's nnz within one max-row of the ideal share.
+        let mut indptr = vec![0usize];
+        let mut nnz = 0usize;
+        for r in 0..97 {
+            nnz += (r * 7919) % 23;
+            indptr.push(nnz);
+        }
+        let a = nnz_chunks(&indptr, 5);
+        let b = nnz_chunks(&indptr, 5);
+        assert_eq!(a, b);
+        assert_tiles(&a, 0, 97, 5);
+        let max_row = indptr.windows(2).map(|w| w[1] - w[0]).max().unwrap();
+        let ideal = nnz as f64 / 5.0;
+        for r in &a {
+            let c = indptr[r.end] - indptr[r.start];
+            assert!(
+                (c as f64) <= ideal + max_row as f64,
+                "chunk {r:?} holds {c} nnz, ideal {ideal:.1}, max row {max_row}"
+            );
+        }
+    }
+
+    #[test]
+    fn chunker_subrange_tiles_band() {
+        let indptr = vec![0, 2, 2, 5, 9, 9, 12, 20];
+        let chunks = nnz_chunks_range(&indptr, 2, 6, 3);
+        assert_tiles(&chunks, 2, 6, 3);
+    }
+
+    #[test]
+    fn pool_run_orders_results_by_job_index() {
+        for nthreads in [1, 2, 3, 8] {
+            let pool = ThreadPool::new(nthreads);
+            let out = pool.run(37, |i| i * i);
+            assert_eq!(
+                out,
+                (0..37).map(|i| i * i).collect::<Vec<_>>(),
+                "t={nthreads}"
+            );
+        }
+    }
+
+    #[test]
+    fn pool_run_jobs_with_disjoint_mut_slices() {
+        let mut data = vec![0u64; 64];
+        for nthreads in [1, 3, 8] {
+            data.iter_mut().for_each(|x| *x = 0);
+            let pool = ThreadPool::new(nthreads);
+            let (lo, hi) = data.split_at_mut(32);
+            let jobs: Vec<Job<usize>> = vec![
+                Box::new(move || {
+                    lo.iter_mut().enumerate().for_each(|(i, x)| *x = i as u64);
+                    lo.len()
+                }),
+                Box::new(move || {
+                    hi.iter_mut()
+                        .enumerate()
+                        .for_each(|(i, x)| *x = 100 + i as u64);
+                    hi.len()
+                }),
+            ];
+            assert_eq!(pool.run_jobs(jobs), vec![32, 32]);
+            assert_eq!(data[31], 31);
+            assert_eq!(data[63], 131);
+        }
+    }
+
+    #[test]
+    fn pool_handles_empty_and_single_job() {
+        let pool = ThreadPool::new(4);
+        assert_eq!(pool.run(0, |i| i), Vec::<usize>::new());
+        assert_eq!(pool.run(1, |i| i + 41), vec![41]);
+        assert_eq!(pool.run_jobs(Vec::<Job<u8>>::new()), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn set_threads_overrides_global() {
+        set_threads(3);
+        assert_eq!(configured_threads(), 3);
+        assert_eq!(ThreadPool::global().nthreads(), 3);
+        set_threads(0); // clamps to 1
+        assert_eq!(configured_threads(), 1);
+    }
+}

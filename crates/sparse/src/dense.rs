@@ -46,6 +46,12 @@ impl<T: Copy> DenseMat<T> {
         &self.data
     }
 
+    /// Mutable view of the whole row-major buffer; lets parallel kernels
+    /// hand disjoint row bands to worker threads via `split_at_mut`.
+    pub fn data_mut(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
     #[inline]
     pub fn row(&self, r: usize) -> &[T] {
         &self.data[r * self.ncols..(r + 1) * self.ncols]

@@ -13,7 +13,7 @@
 use crate::accum::{Accumulator, HashAccum, PatternSpa, Spa};
 use crate::semiring::Semiring;
 use crate::{Csr, Idx};
-use rayon::prelude::*;
+use tsgemm_pool::{nnz_chunks, ThreadPool};
 
 /// Output width above which the SPA spills out of cache and the hash
 /// accumulator takes over (paper: "For d > 1024, we opt for a hash-based
@@ -169,38 +169,52 @@ pub fn spgemm<S: Semiring>(a: &Csr<S::T>, b: &Csr<S::T>, choice: AccumChoice) ->
     Csr::from_parts(a.nrows(), b.ncols(), indptr, indices, values)
 }
 
-/// Rayon-parallel numeric SpGEMM: output rows are distributed over threads,
-/// each with a private accumulator (the paper's in-node OpenMP scheme, where
-/// "each of the t threads maintain their private SPA").
+/// Pool-parallel numeric SpGEMM on the globally configured thread count
+/// (`TSGEMM_THREADS`). See [`spgemm_par_with`].
 pub fn spgemm_par<S: Semiring>(a: &Csr<S::T>, b: &Csr<S::T>, choice: AccumChoice) -> Csr<S::T> {
+    spgemm_par_with::<S>(&ThreadPool::global(), a, b, choice)
+}
+
+/// Pool-parallel numeric SpGEMM: output rows are split into one
+/// nnz-balanced chunk per thread (prefix-sum over `A`'s `indptr`), each
+/// chunk built with a *private* accumulator (the paper's in-node OpenMP
+/// scheme, where "each of the t threads maintain their private SPA"), and
+/// the per-chunk CSR pieces concatenated in row order.
+///
+/// Byte-identical to [`spgemm`] for any thread count: each output row
+/// depends only on its own accumulate/drain sequence (drains are sorted and
+/// accumulator capacity never leaks into the output), chunk boundaries are
+/// a pure function of `indptr`, and the ordered concatenation reproduces
+/// the sequential left-to-right push order exactly.
+pub fn spgemm_par_with<S: Semiring>(
+    pool: &ThreadPool,
+    a: &Csr<S::T>,
+    b: &Csr<S::T>,
+    choice: AccumChoice,
+) -> Csr<S::T> {
     assert_eq!(a.ncols(), b.nrows(), "inner dimensions must agree");
-    let nthreads = rayon::current_num_threads().max(1);
-    if nthreads == 1 || a.nrows() < 2 * nthreads {
+    if pool.nthreads() == 1 {
         return spgemm::<S>(a, b, choice);
     }
-    let chunk = a.nrows().div_ceil(nthreads);
+    let chunks = nnz_chunks(a.indptr(), pool.nthreads());
     type Piece<T> = (Vec<usize>, Vec<Idx>, Vec<T>);
-    let pieces: Vec<Piece<S::T>> = (0..a.nrows())
-        .into_par_iter()
-        .step_by(chunk)
-        .map(|start| {
-            let rows = start..(start + chunk).min(a.nrows());
-            let mut indptr = Vec::with_capacity(rows.len());
-            let mut indices = Vec::new();
-            let mut values = Vec::new();
-            match choice.resolve(b.ncols()) {
-                AccumChoice::Hash => {
-                    let mut acc = HashAccum::<S>::with_capacity(64);
-                    spgemm_rows_into(a, b, rows, &mut acc, &mut indptr, &mut indices, &mut values);
-                }
-                _ => {
-                    let mut acc = Spa::<S>::new(b.ncols());
-                    spgemm_rows_into(a, b, rows, &mut acc, &mut indptr, &mut indices, &mut values);
-                }
+    let pieces: Vec<Piece<S::T>> = pool.run(chunks.len(), |k| {
+        let rows = chunks[k].clone();
+        let mut indptr = Vec::with_capacity(rows.len());
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        match choice.resolve(b.ncols()) {
+            AccumChoice::Hash => {
+                let mut acc = HashAccum::<S>::with_capacity(64);
+                spgemm_rows_into(a, b, rows, &mut acc, &mut indptr, &mut indices, &mut values);
             }
-            (indptr, indices, values)
-        })
-        .collect();
+            _ => {
+                let mut acc = Spa::<S>::new(b.ncols());
+                spgemm_rows_into(a, b, rows, &mut acc, &mut indptr, &mut indices, &mut values);
+            }
+        }
+        (indptr, indices, values)
+    });
 
     let mut indptr = Vec::with_capacity(a.nrows() + 1);
     indptr.push(0usize);

@@ -7,7 +7,7 @@
 
 use crate::semiring::Semiring;
 use crate::{Csr, DenseMat};
-use rayon::prelude::*;
+use tsgemm_pool::{nnz_chunks, ThreadPool};
 
 /// Sequential SpMM under semiring `S`.
 ///
@@ -30,26 +30,51 @@ pub fn spmm<S: Semiring>(a: &Csr<S::T>, b: &DenseMat<S::T>) -> DenseMat<S::T> {
     c
 }
 
-/// Rayon-parallel SpMM: output rows are independent, so rows are simply
-/// distributed over threads.
+/// Pool-parallel SpMM on the globally configured thread count
+/// (`TSGEMM_THREADS`). See [`spmm_par_with`].
 pub fn spmm_par<S: Semiring>(a: &Csr<S::T>, b: &DenseMat<S::T>) -> DenseMat<S::T> {
+    spmm_par_with::<S>(&ThreadPool::global(), a, b)
+}
+
+/// Pool-parallel SpMM: output rows are independent, so rows are split into
+/// one nnz-balanced chunk per thread (prefix-sum over `A`'s `indptr`) and
+/// each chunk writes its disjoint band of `C` directly. Every output row is
+/// the same zero-initialised left-to-right fold as [`spmm`], so results are
+/// byte-identical for any thread count.
+pub fn spmm_par_with<S: Semiring>(
+    pool: &ThreadPool,
+    a: &Csr<S::T>,
+    b: &DenseMat<S::T>,
+) -> DenseMat<S::T> {
     assert_eq!(a.ncols(), b.nrows(), "inner dimensions must agree");
     let d = b.ncols();
-    let data: Vec<S::T> = (0..a.nrows())
-        .into_par_iter()
-        .flat_map_iter(|r| {
-            let mut row = vec![S::zero(); d];
-            let (cols, vals) = a.row(r);
-            for (&k, &va) in cols.iter().zip(vals) {
-                let brow = b.row(k as usize);
-                for j in 0..d {
-                    row[j] = S::add(row[j], S::mul(va, brow[j]));
+    if pool.nthreads() == 1 {
+        return spmm::<S>(a, b);
+    }
+    let mut c = DenseMat::filled(a.nrows(), d, S::zero());
+    let chunks = nnz_chunks(a.indptr(), pool.nthreads());
+    let mut jobs: Vec<tsgemm_pool::Job<()>> = Vec::with_capacity(chunks.len());
+    let mut rest = c.data_mut();
+    let mut done = 0usize;
+    for rows in chunks {
+        let (band, tail) = rest.split_at_mut((rows.end - done) * d);
+        rest = tail;
+        done = rows.end;
+        jobs.push(Box::new(move || {
+            for r in rows.clone() {
+                let crow = &mut band[(r - rows.start) * d..(r - rows.start + 1) * d];
+                let (cols, vals) = a.row(r);
+                for (&k, &va) in cols.iter().zip(vals) {
+                    let brow = b.row(k as usize);
+                    for j in 0..d {
+                        crow[j] = S::add(crow[j], S::mul(va, brow[j]));
+                    }
                 }
             }
-            row.into_iter()
-        })
-        .collect();
-    DenseMat::from_vec(a.nrows(), d, data)
+        }));
+    }
+    pool.run_jobs(jobs);
+    c
 }
 
 /// Flop count of an SpMM: every stored `A` entry touches all `d` columns.

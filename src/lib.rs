@@ -3,6 +3,8 @@
 //! Re-exports the workspace crates under one roof so examples and downstream
 //! users can depend on a single `tsgemm` crate:
 //!
+//! * [`pool`] — the deterministic intra-rank thread pool and nnz-balanced
+//!   chunker (`TSGEMM_THREADS`);
 //! * [`sparse`] — matrix formats, semirings, accumulators, local kernels,
 //!   generators;
 //! * [`net`] — the simulated MPI runtime (thread ranks, collectives, α–β
@@ -17,4 +19,5 @@ pub use tsgemm_apps as apps;
 pub use tsgemm_baselines as baselines;
 pub use tsgemm_core as core;
 pub use tsgemm_net as net;
+pub use tsgemm_pool as pool;
 pub use tsgemm_sparse as sparse;
