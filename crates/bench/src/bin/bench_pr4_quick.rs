@@ -1,0 +1,152 @@
+//! PR 4 quick benchmark — the CI perf-gate workload.
+//!
+//! Small enough to finish in seconds on a one-core runner, but shaped like
+//! the real harnesses: per-dataset local-kernel chunk timings at 1 and 4
+//! threads (same `critical_path_s` / `sum_s` / `speedup` leaves as
+//! `BENCH_pr3.json`, so `inspect regress` gates them with the standard name
+//! conventions), written to `BENCH_pr4.json` or `--out FILE`.
+//!
+//! With `--trace-out[=DIR]` it additionally runs one traced distributed
+//! TS-SpGEMM and dumps `trace.json` + `metrics.jsonl` + `flight.jsonl`, the
+//! inputs of `inspect html` / `inspect lint-trace` — so one invocation
+//! produces everything the perf-gate CI job consumes.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+use tsgemm_bench::{run_algo_traced, Algo, TraceOut};
+use tsgemm_net::CostModel;
+use tsgemm_pool::nnz_chunks;
+use tsgemm_sparse::gen::{erdos_renyi, random_tall, rmat, RMAT_WEB};
+use tsgemm_sparse::spgemm::{spgemm, AccumChoice};
+use tsgemm_sparse::{Coo, Csr, PlusTimesF64};
+
+const THREADS: [usize; 2] = [1, 4];
+const REPS: usize = 3;
+
+/// Copies rows `[lo, hi)` of `a` into a standalone CSR (indptr rebased).
+fn row_slice(a: &Csr<f64>, lo: usize, hi: usize) -> Csr<f64> {
+    let base = a.indptr()[lo];
+    let indptr: Vec<usize> = a.indptr()[lo..=hi].iter().map(|&x| x - base).collect();
+    let (s, e) = (a.indptr()[lo], a.indptr()[hi]);
+    Csr::from_parts(
+        hi - lo,
+        a.ncols(),
+        indptr,
+        a.indices()[s..e].to_vec(),
+        a.values()[s..e].to_vec(),
+    )
+}
+
+/// Times each nnz-balanced chunk of `a` under `kernel`, sequentially (the
+/// pool's chunking is deterministic, so `max` is the parallel critical path
+/// on a machine with enough cores). Returns `(critical_path_s, sum_s)`,
+/// minimised over `REPS` repetitions.
+fn chunked_times(a: &Csr<f64>, nthreads: usize, kernel: impl Fn(&Csr<f64>)) -> (f64, f64) {
+    let chunks = nnz_chunks(a.indptr(), nthreads);
+    let slices: Vec<Csr<f64>> = chunks
+        .iter()
+        .map(|r| row_slice(a, r.start, r.end))
+        .collect();
+    let mut best = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..REPS {
+        let mut crit = 0f64;
+        let mut sum = 0f64;
+        for s in &slices {
+            let t0 = Instant::now();
+            kernel(s);
+            let dt = t0.elapsed().as_secs_f64();
+            crit = crit.max(dt);
+            sum += dt;
+        }
+        best = (best.0.min(crit), best.1.min(sum));
+    }
+    best
+}
+
+fn out_path() -> String {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(rest) = args[i].strip_prefix("--out=") {
+            return rest.to_string();
+        }
+        if args[i] == "--out" {
+            if let Some(next) = args.get(i + 1) {
+                return next.clone();
+            }
+        }
+        i += 1;
+    }
+    "BENCH_pr4.json".to_string()
+}
+
+fn main() {
+    let d = 64;
+    let sparsity = 0.5;
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let datasets: Vec<(&str, Coo<f64>)> = vec![
+        ("er_quick", erdos_renyi(4096, 8.0, 0xF40)),
+        ("rmat_quick", rmat(12, 8.0, RMAT_WEB, 0xF41)),
+    ];
+
+    let mut entries = String::new();
+    for (alias, acoo) in &datasets {
+        let a = acoo.to_csr::<PlusTimesF64>();
+        let bcoo = random_tall(a.nrows(), d, sparsity, 0xF42);
+        let bcsr = bcoo.to_csr::<PlusTimesF64>();
+
+        let mut spgemm_json = String::new();
+        let mut t1_sum = 0f64;
+        let mut t4_crit = 0f64;
+        for (i, &t) in THREADS.iter().enumerate() {
+            let (gc, gs) = chunked_times(&a, t, |s| {
+                std::hint::black_box(spgemm::<PlusTimesF64>(s, &bcsr, AccumChoice::Auto));
+            });
+            if t == 1 {
+                t1_sum = gs;
+            }
+            if t == 4 {
+                t4_crit = gc;
+            }
+            let sep = if i == 0 { "" } else { "," };
+            write!(
+                spgemm_json,
+                "{sep}\"{t}\":{{\"critical_path_s\":{gc:.6},\"sum_s\":{gs:.6}}}"
+            )
+            .unwrap();
+            println!("{alias:>12}  t={t}  spgemm crit {gc:.4}s sum {gs:.4}s");
+        }
+        let speedup = t1_sum / t4_crit.max(1e-12);
+        println!("{alias:>12}  schedule speedup at 4 threads: {speedup:.2}x");
+        let sep = if entries.is_empty() { "" } else { "," };
+        write!(
+            entries,
+            "{sep}\n    {{\"name\":\"{alias}\",\"n\":{},\"a_nnz\":{},\"spgemm\":{{{spgemm_json}}},\"spgemm_speedup_4t\":{speedup:.3}}}",
+            a.nrows(),
+            a.nnz()
+        )
+        .unwrap();
+    }
+
+    let json = format!(
+        "{{\n  \"pr\": 4,\n  \"d\": {d},\n  \"b_sparsity\": {sparsity},\n  \"host_cpus\": {host_cpus},\n  \"metric\": \"per-chunk spgemm seconds over the pool's deterministic nnz-balanced chunking, min over {REPS} reps; critical_path_s = max chunk, sum_s = total, spgemm_speedup_4t = sum_s(t=1) / critical_path_s(t=4). Quick CI-gate variant of the BENCH_pr3 protocol.\",\n  \"datasets\": [{entries}\n  ]\n}}\n"
+    );
+    let out = out_path();
+    std::fs::write(&out, &json).unwrap();
+    println!("wrote {out}");
+
+    // Optional traced distributed run: the artifact set `inspect` consumes.
+    if let Some(tout) = TraceOut::from_args("bench_pr4_quick") {
+        let (_, acoo) = &datasets[0];
+        let bcoo = random_tall(acoo.nrows(), d, sparsity, 0xF43);
+        let (_, trace) = run_algo_traced(
+            &Algo::ts(),
+            4,
+            acoo,
+            &bcoo,
+            &CostModel::default(),
+            tout.config(),
+        );
+        tout.dump("", &trace).unwrap();
+    }
+}

@@ -45,12 +45,18 @@ fn main() {
             msbfs_summa2d(comm, &acoo, &sources, 1000, "bfs2d").3
         });
         if let Some(out) = &trace_out {
-            out.dump_parts(&format!("{alias}-ts"), &ts_out.profiles, &ts_out.metrics)
-                .unwrap();
+            out.dump_parts(
+                &format!("{alias}-ts"),
+                &ts_out.profiles,
+                &ts_out.metrics,
+                &ts_out.flights,
+            )
+            .unwrap();
             out.dump_parts(
                 &format!("{alias}-summa2d"),
                 &su_out.profiles,
                 &su_out.metrics,
+                &su_out.flights,
             )
             .unwrap();
         }

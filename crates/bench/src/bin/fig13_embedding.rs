@@ -64,8 +64,13 @@ fn main() {
                 (zd.gather_global::<PlusTimesF64>(comm), stats)
             });
             if let Some(tout) = &trace_out {
-                tout.dump_parts(&format!("{alias}-s{s_pct}"), &out.profiles, &out.metrics)
-                    .unwrap();
+                tout.dump_parts(
+                    &format!("{alias}-s{s_pct}"),
+                    &out.profiles,
+                    &out.metrics,
+                    &out.flights,
+                )
+                .unwrap();
             }
             let (z, stats) = &out.results[0];
             let auc = link_prediction_auc(z, &full, &test, 0xF14);

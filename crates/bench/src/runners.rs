@@ -18,7 +18,7 @@ use tsgemm_core::mode::ModePolicy;
 use tsgemm_core::naive::naive_spgemm;
 use tsgemm_core::part::BlockDist;
 use tsgemm_core::spmm::{dist_spmm, SpmmConfig};
-use tsgemm_net::{CostModel, MetricsRegistry, RankProfile, TraceConfig, World};
+use tsgemm_net::{CostModel, FlightRecorder, MetricsRegistry, RankProfile, TraceConfig, World};
 use tsgemm_sparse::semiring::PlusTimesF64;
 use tsgemm_sparse::spgemm::AccumChoice;
 use tsgemm_sparse::{Coo, DenseMat};
@@ -99,10 +99,12 @@ impl RunMetrics {
 }
 
 /// The raw observability record of one traced run: the per-rank execution
-/// profiles (for the Chrome-trace export) and metrics registries.
+/// profiles (for the Chrome-trace export), metrics registries, and flight
+/// recorders (always populated — the flight ring runs trace switch or not).
 pub struct RunTrace {
     pub profiles: Vec<RankProfile>,
     pub metrics: Vec<MetricsRegistry>,
+    pub flights: Vec<FlightRecorder>,
 }
 
 /// Runs `algo` on `p` ranks multiplying `acoo · bcoo` and distils metrics.
@@ -301,6 +303,7 @@ pub fn run_algo_traced(
         RunTrace {
             profiles: out.profiles,
             metrics: out.metrics,
+            flights: out.flights,
         },
     )
 }

@@ -11,7 +11,8 @@
 use crate::report::results_dir;
 use std::path::PathBuf;
 use tsgemm_net::{
-    phase_rollup, render_rollup, write_trace_files, MetricsRegistry, RankProfile, TraceConfig,
+    phase_rollup, render_rollup, write_flight_jsonl, write_trace_files, FlightRecorder,
+    MetricsRegistry, RankProfile, TraceConfig,
 };
 
 use crate::runners::RunTrace;
@@ -63,20 +64,21 @@ impl TraceOut {
         TraceConfig::enabled()
     }
 
-    /// Writes `trace.json` + `metrics.jsonl` for `trace` and prints the
-    /// per-phase roll-up. `label` names the run in the printed header (a
-    /// harness may dump several runs into subdirectories).
+    /// Writes `trace.json` + `metrics.jsonl` + `flight.jsonl` for `trace`
+    /// and prints the per-phase roll-up. `label` names the run in the
+    /// printed header (a harness may dump several runs into subdirectories).
     pub fn dump(&self, label: &str, trace: &RunTrace) -> std::io::Result<()> {
-        self.dump_parts(label, &trace.profiles, &trace.metrics)
+        self.dump_parts(label, &trace.profiles, &trace.metrics, &trace.flights)
     }
 
-    /// Like [`TraceOut::dump`] but over borrowed profile/metrics slices — for
-    /// harnesses that drive [`tsgemm_net::World::run_traced`] directly.
+    /// Like [`TraceOut::dump`] but over borrowed slices — for harnesses that
+    /// drive [`tsgemm_net::World::run_traced`] directly.
     pub fn dump_parts(
         &self,
         label: &str,
         profiles: &[RankProfile],
         metrics: &[MetricsRegistry],
+        flights: &[FlightRecorder],
     ) -> std::io::Result<()> {
         let dir = if label.is_empty() {
             self.dir.clone()
@@ -84,13 +86,15 @@ impl TraceOut {
             self.dir.join(label)
         };
         let (trace_path, metrics_path) = write_trace_files(&dir, profiles, metrics)?;
+        let flight_path = write_flight_jsonl(&dir, flights)?;
         let rollup = phase_rollup(profiles, metrics);
         println!("-- phase roll-up ({label}) --");
         println!("{}", render_rollup(&rollup));
         println!(
-            "wrote {} and {}",
+            "wrote {}, {} and {}",
             trace_path.display(),
-            metrics_path.display()
+            metrics_path.display(),
+            flight_path.display()
         );
         Ok(())
     }
@@ -134,6 +138,9 @@ mod tests {
         let jsonl = std::fs::read_to_string(tmp.join("unit").join("metrics.jsonl")).unwrap();
         assert_eq!(jsonl.lines().count(), 3);
         assert!(jsonl.contains("predicted_bytes"));
+        let flight = std::fs::read_to_string(tmp.join("unit").join("flight.jsonl")).unwrap();
+        assert!(flight.contains("\"coll_done\""));
+        assert!(flight.contains("alg:bfetch"));
         let _ = std::fs::remove_dir_all(tmp);
     }
 }

@@ -23,7 +23,7 @@ use crate::part::BlockDist;
 use crate::tiling::{subtile_csr, TileBuckets, Tiling};
 use std::collections::HashMap;
 use std::time::Instant;
-use tsgemm_net::{Comm, CommError, Metrics, MetricsRegistry};
+use tsgemm_net::{alloc, Comm, CommError, FlightEventKind, Metrics, MetricsRegistry};
 use tsgemm_pool::{nnz_chunks_range, ThreadPool};
 use tsgemm_sparse::accum::{Accumulator, HashAccum, Spa};
 use tsgemm_sparse::semiring::Semiring;
@@ -170,8 +170,9 @@ fn alltoallv_retry<T: Clone + Send + 'static>(
             Ok(r) => return Ok(r),
             Err(e) if e.is_transient() && backup.is_some() => {
                 *retries += 1;
-                bufs = backup.unwrap();
                 attempt += 1;
+                comm.flight(|f| f.record(&tag, FlightEventKind::Retry { attempt }));
+                bufs = backup.unwrap();
             }
             Err(e) => return Err(e),
         }
@@ -207,6 +208,11 @@ pub fn try_ts_spgemm<S: Semiring>(
     b: &DistCsr<S::T>,
     cfg: &TsConfig,
 ) -> Result<(Csr<S::T>, TsLocalStats), CommError> {
+    // Whole-invocation span under the config tag (the same phase the stats
+    // registry uses). A drop guard, so it also closes when a collective
+    // fails and the `?` below returns early — the timeline never leaks an
+    // open span on the error path.
+    let run_span = comm.span(|| cfg.tag.clone());
     let me = comm.rank();
     let p = comm.size();
     let dist = a.dist;
@@ -247,8 +253,17 @@ pub fn try_ts_spgemm<S: Semiring>(
 
     for rb in 0..tiling.n_row_bands {
         for cb in 0..tiling.n_col_bands {
+            comm.flight(|f| {
+                f.record(
+                    &cfg.tag,
+                    FlightEventKind::StepStart {
+                        rb: rb as u32,
+                        cb: cb as u32,
+                    },
+                )
+            });
             // ---- server role: pack B rows / compute partial C ------------
-            let pack_start = trace.then(Instant::now);
+            let pack_span = comm.span(|| format!("{}:pack", cfg.tag));
             let mut bsend: Vec<Vec<Trip<S::T>>> = (0..p).map(|_| Vec::new()).collect();
             let mut csend: Vec<Vec<Trip<S::T>>> = (0..p).map(|_| Vec::new()).collect();
             let (bcol_lo, _) = ac.col_range();
@@ -305,9 +320,7 @@ pub fn try_ts_spgemm<S: Semiring>(
                 }
             }
 
-            if let Some(t) = pack_start {
-                comm.record_span(format!("{}:pack", cfg.tag), t);
-            }
+            pack_span.end();
 
             // ---- consolidated communication ------------------------------
             let brecv = alltoallv_retry(
@@ -329,7 +342,7 @@ pub fn try_ts_spgemm<S: Semiring>(
             comm.note_working_set(transient);
 
             // ---- tile-owner role: local multiply -------------------------
-            let kernel_start = trace.then(Instant::now);
+            let kernel_span = comm.span(|| format!("{}:kernel", cfg.tag));
             // Index received B rows: global row id -> slice of entries.
             let mut brow_entries: Vec<(Idx, S::T)> = Vec::new();
             let mut brow_index: HashMap<Idx, (u32, u32)> = HashMap::new();
@@ -396,20 +409,25 @@ pub fn try_ts_spgemm<S: Semiring>(
                 }
             }
 
-            if let Some(t) = kernel_start {
-                comm.record_span(format!("{}:kernel", cfg.tag), t);
-            }
+            kernel_span.end();
 
             // ---- fold in remotely computed partials ----------------------
-            let merge_start = trace.then(Instant::now);
+            let merge_span = comm.span(|| format!("{}:merge", cfg.tag));
             for msg in crecv {
                 for t in msg {
                     out_trips.push((t.row - my_lo, t.col, t.val));
                 }
             }
-            if let Some(t) = merge_start {
-                comm.record_span(format!("{}:merge", cfg.tag), t);
-            }
+            merge_span.end();
+            comm.flight(|f| {
+                f.record(
+                    &cfg.tag,
+                    FlightEventKind::StepEnd {
+                        rb: rb as u32,
+                        cb: cb as u32,
+                    },
+                )
+            });
         }
     }
 
@@ -417,9 +435,19 @@ pub fn try_ts_spgemm<S: Semiring>(
     stats.flops = flops;
     if trace {
         comm.metrics(|m| m.merge(&stats.registry(&cfg.tag)));
+        if alloc::counting_active() {
+            // Process-wide accounted bytes (the counting allocator is
+            // global): the peak is the whole job's high-water mark since the
+            // last reset, recorded as gauges so rank merges take the max.
+            comm.metrics(|m| {
+                m.gauge_max(&cfg.tag, "mem_live_bytes", alloc::live_bytes() as f64);
+                m.gauge_max(&cfg.tag, "mem_peak_bytes", alloc::peak_bytes() as f64);
+            });
+        }
     }
 
     let c = Coo::from_entries(a.local_rows(), d, out_trips).to_csr::<S>();
+    run_span.end();
     Ok((c, stats))
 }
 

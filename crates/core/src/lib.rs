@@ -44,6 +44,10 @@ pub use tiling::Tiling;
 /// in [`tsgemm_net`], re-exported here so algorithm and application crates
 /// only depend on the core facade.
 pub mod trace {
+    pub use tsgemm_net::alloc::{self, CountingAlloc, MemScope, MemUse};
+    pub use tsgemm_net::flight::{
+        write_flight_jsonl, FlightEvent, FlightEventKind, FlightRecorder,
+    };
     pub use tsgemm_net::metrics::{Histogram, MetricValue, Metrics, MetricsRegistry};
     pub use tsgemm_net::stats::PhaseSpan;
     pub use tsgemm_net::trace::{

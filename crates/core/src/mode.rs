@@ -19,8 +19,7 @@ use crate::colpart::Trip;
 use crate::dist::DistCsr;
 use crate::tiling::{subtile_csr, SubTileKey, TileBuckets, Tiling};
 use std::collections::HashMap;
-use std::time::Instant;
-use tsgemm_net::Comm;
+use tsgemm_net::{Comm, FlightEventKind};
 use tsgemm_sparse::semiring::Semiring;
 use tsgemm_sparse::spgemm::spgemm_symbolic;
 use tsgemm_sparse::Idx;
@@ -104,7 +103,9 @@ pub fn decide_modes<S: Semiring>(
     let mut predicted_bfetch = 0u64;
     let mut predicted_cret = 0u64;
     let mut sends: Vec<Vec<(u32, u32, u8)>> = (0..p).map(|_| Vec::new()).collect();
-    let symbolic_start = trace.then(Instant::now);
+    // Drop-guard: the span closes even if a future edit adds an early return
+    // from the symbolic loop. The closure only runs when tracing is on.
+    let symbolic_span = comm.span(|| format!("{tag_prefix}:symbolic"));
 
     for (&(i, rb, cb), bucket) in &buckets.map {
         if i == me {
@@ -160,12 +161,23 @@ pub fn decide_modes<S: Semiring>(
             TileMode::Local => n_local += 1,
             TileMode::Remote => n_remote += 1,
         }
+        comm.flight(|f| {
+            f.record(
+                tag_prefix,
+                FlightEventKind::TileMode {
+                    rb,
+                    cb,
+                    peer: i as u32,
+                    remote: mode == TileMode::Remote,
+                },
+            )
+        });
         serve.insert((i, rb, cb), mode);
         sends[i].push((rb, cb, mode as u8));
     }
+    symbolic_span.end();
 
-    if let Some(t) = symbolic_start {
-        comm.record_span(format!("{tag_prefix}:symbolic"), t);
+    if trace {
         comm.metrics(|m| {
             m.counter_add(
                 &format!("{tag_prefix}:bfetch"),

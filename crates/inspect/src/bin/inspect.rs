@@ -1,0 +1,139 @@
+//! `inspect` — turn tsgemm run artifacts into diagnosis.
+//!
+//! ```text
+//! inspect imbalance <trace-dir>                 per-rank critical path + stragglers
+//! inspect drift <trace-dir> [--tol 0%]          predicted vs measured bytes
+//! inspect regress --baseline A.json --current B.json [--tol 10%]
+//! inspect html <trace-dir> [--out report.html] [--title T]
+//! inspect lint-trace <trace-dir>                metrics/trace phase consistency
+//! ```
+//!
+//! `<trace-dir>` is a directory holding `trace.json` + `metrics.jsonl` as
+//! written by `write_trace_files` (and optionally `flight.jsonl`).
+//!
+//! Exit codes: 0 ok; 1 gate failed (regression, drift over tolerance, lint
+//! error); 2 usage or I/O error.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use tsgemm_inspect::{drift, html, imbalance, lint, load_json, load_metrics_jsonl, load_trace};
+
+const USAGE: &str = "usage:
+  inspect imbalance <trace-dir>
+  inspect drift <trace-dir> [--tol PCT]
+  inspect regress --baseline FILE --current FILE [--tol PCT]
+  inspect html <trace-dir> [--out FILE] [--title TITLE]
+  inspect lint-trace <trace-dir>";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("inspect: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Pulls `--flag value` out of `args`, returning the remainder.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(i) => {
+            if i + 1 >= args.len() {
+                return Err(format!("{flag} needs a value"));
+            }
+            let v = args.remove(i + 1);
+            args.remove(i);
+            Ok(Some(v))
+        }
+    }
+}
+
+fn trace_dir(args: &[String]) -> Result<&Path, String> {
+    args.first()
+        .map(|s| Path::new(s.as_str()))
+        .ok_or_else(|| format!("missing <trace-dir>\n{USAGE}"))
+}
+
+fn run(argv: &[String]) -> Result<ExitCode, String> {
+    let Some((cmd, rest)) = argv.split_first() else {
+        return Err(USAGE.to_string());
+    };
+    let mut args: Vec<String> = rest.to_vec();
+    match cmd.as_str() {
+        "imbalance" => {
+            let dir = trace_dir(&args)?;
+            let events = load_trace(&dir.join("trace.json"))?;
+            let rep = imbalance::analyze(&events);
+            print!("{}", imbalance::render(&rep));
+            Ok(ExitCode::SUCCESS)
+        }
+        "drift" => {
+            let tol = match take_flag(&mut args, "--tol")? {
+                Some(t) => tsgemm_inspect::regress::parse_tol(&t)?,
+                None => 0.0, // the model is byte-exact by contract
+            };
+            let dir = trace_dir(&args)?;
+            let ranks = load_metrics_jsonl(&dir.join("metrics.jsonl"))?;
+            let rep = drift::analyze(&ranks, tol);
+            print!("{}", drift::render(&rep));
+            Ok(if rep.ok() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            })
+        }
+        "regress" => {
+            let baseline = take_flag(&mut args, "--baseline")?
+                .ok_or_else(|| format!("--baseline is required\n{USAGE}"))?;
+            let current = take_flag(&mut args, "--current")?
+                .ok_or_else(|| format!("--current is required\n{USAGE}"))?;
+            let tol = match take_flag(&mut args, "--tol")? {
+                Some(t) => tsgemm_inspect::regress::parse_tol(&t)?,
+                None => 0.10,
+            };
+            let base = load_json(Path::new(&baseline))?;
+            let cur = load_json(Path::new(&current))?;
+            let rep = tsgemm_inspect::regress::compare(&base, &cur, tol);
+            print!("{}", tsgemm_inspect::regress::render(&rep));
+            Ok(if rep.regressed() {
+                eprintln!("inspect: performance regression beyond {:.1}%", tol * 100.0);
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            })
+        }
+        "html" => {
+            let out = take_flag(&mut args, "--out")?
+                .map(PathBuf::from)
+                .unwrap_or_else(|| PathBuf::from("report.html"));
+            let title =
+                take_flag(&mut args, "--title")?.unwrap_or_else(|| "tsgemm run report".to_string());
+            let dir = trace_dir(&args)?;
+            let events = load_trace(&dir.join("trace.json"))?;
+            let ranks = load_metrics_jsonl(&dir.join("metrics.jsonl"))?;
+            let imb = imbalance::analyze(&events);
+            let dr = drift::analyze(&ranks, 0.0);
+            let doc = html::report(&title, &ranks, &imb, &dr);
+            std::fs::write(&out, doc)
+                .map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+            println!("wrote {}", out.display());
+            Ok(ExitCode::SUCCESS)
+        }
+        "lint-trace" => {
+            let dir = trace_dir(&args)?;
+            let events = load_trace(&dir.join("trace.json"))?;
+            let ranks = load_metrics_jsonl(&dir.join("metrics.jsonl"))?;
+            let rep = lint::lint(&ranks, &events);
+            print!("{}", lint::render(&rep));
+            Ok(if rep.ok() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            })
+        }
+        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+    }
+}

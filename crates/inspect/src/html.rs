@@ -1,0 +1,200 @@
+//! Self-contained HTML report: one file, inline CSS, no external assets,
+//! suitable for CI artifact upload and opening from a mail attachment.
+
+use crate::drift::DriftReport;
+use crate::imbalance::ImbalanceReport;
+use crate::RankMetrics;
+use std::collections::BTreeMap;
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+fn bytes_h(b: f64) -> String {
+    if b >= 1048576.0 {
+        format!("{:.2} MiB", b / 1048576.0)
+    } else if b >= 1024.0 {
+        format!("{:.2} KiB", b / 1024.0)
+    } else {
+        format!("{b:.0} B")
+    }
+}
+
+/// Per-phase totals summed over ranks, straight from `metrics.jsonl`.
+fn phase_table(ranks: &[RankMetrics]) -> String {
+    #[derive(Default)]
+    struct Row {
+        bytes_sent: f64,
+        collectives: f64,
+        flops: f64,
+        retries: f64,
+    }
+    let mut rows: BTreeMap<String, Row> = BTreeMap::new();
+    for rm in ranks {
+        for phase in rm.phases.keys() {
+            let row = rows.entry(phase.clone()).or_default();
+            row.bytes_sent += rm.value(phase, "bytes_sent").unwrap_or(0.0);
+            row.collectives += rm.value(phase, "collectives").unwrap_or(0.0);
+            row.flops += rm.value(phase, "flops").unwrap_or(0.0);
+            row.retries += rm.value(phase, "retries").unwrap_or(0.0);
+        }
+    }
+    let mut out = String::from(
+        "<table><tr><th>phase</th><th>sent</th><th>collectives</th>\
+         <th>flops</th><th>retries</th></tr>",
+    );
+    for (phase, r) in rows {
+        out.push_str(&format!(
+            "<tr><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td></tr>",
+            esc(&phase),
+            bytes_h(r.bytes_sent),
+            r.collectives as u64,
+            r.flops as u64,
+            r.retries as u64
+        ));
+    }
+    out.push_str("</table>");
+    out
+}
+
+fn imbalance_tables(rep: &ImbalanceReport) -> String {
+    let mut out = String::from(
+        "<table><tr><th>rank</th><th>compute (ms)</th><th>wait (ms)</th>\
+         <th>total (ms)</th></tr>",
+    );
+    for r in &rep.ranks {
+        out.push_str(&format!(
+            "<tr><td>{}</td><td>{:.3}</td><td>{:.3}</td><td>{:.3}</td></tr>",
+            r.rank,
+            r.compute_s * 1e3,
+            r.wait_s * 1e3,
+            r.total_s() * 1e3
+        ));
+    }
+    out.push_str("</table>");
+    if let Some(c) = rep.critical_rank() {
+        out.push_str(&format!(
+            "<p>Critical rank: <b>{}</b> at {:.3} ms.</p>",
+            c.rank,
+            c.total_s() * 1e3
+        ));
+    }
+    out.push_str(
+        "<table><tr><th>phase</th><th>mean (ms)</th><th>max (ms)</th>\
+         <th>imbalance</th><th>straggler</th></tr>",
+    );
+    for p in &rep.phases {
+        let cls = if p.imbalance > 1.5 {
+            " class=\"bad\""
+        } else {
+            ""
+        };
+        out.push_str(&format!(
+            "<tr{cls}><td>{}</td><td>{:.3}</td><td>{:.3}</td><td>{:.2}</td><td>{}</td></tr>",
+            esc(&p.phase),
+            p.mean_s * 1e3,
+            p.max_s * 1e3,
+            p.imbalance,
+            p.straggler
+        ));
+    }
+    out.push_str("</table>");
+    out
+}
+
+fn drift_table(rep: &DriftReport) -> String {
+    if rep.rows.is_empty() {
+        return "<p>No phases carry <code>predicted_bytes</code>; run with tracing \
+                enabled to score the cost model.</p>"
+            .to_string();
+    }
+    let mut out = String::from(
+        "<table><tr><th>phase</th><th>predicted</th><th>measured</th>\
+         <th>drift</th><th>gate</th></tr>",
+    );
+    for r in &rep.rows {
+        let ok = r.drift <= rep.tol;
+        out.push_str(&format!(
+            "<tr{}><td>{}</td><td>{}</td><td>{}</td><td>{:.2}%</td><td>{}</td></tr>",
+            if ok { "" } else { " class=\"bad\"" },
+            esc(&r.phase),
+            bytes_h(r.predicted_bytes),
+            bytes_h(r.measured_bytes),
+            r.drift * 100.0,
+            if ok { "ok" } else { "FAIL" }
+        ));
+    }
+    out.push_str("</table>");
+    out
+}
+
+/// Assembles the whole report.
+pub fn report(
+    title: &str,
+    ranks: &[RankMetrics],
+    imbalance: &ImbalanceReport,
+    drift: &DriftReport,
+) -> String {
+    format!(
+        "<!doctype html><html><head><meta charset=\"utf-8\">\
+         <title>{t}</title><style>\
+         body{{font:14px/1.5 system-ui,sans-serif;margin:2em auto;max-width:60em;\
+         color:#1a1a2e}}\
+         h1{{font-size:1.4em}} h2{{font-size:1.1em;margin-top:2em;\
+         border-bottom:1px solid #ccd;padding-bottom:.2em}}\
+         table{{border-collapse:collapse;margin:.7em 0}}\
+         th,td{{border:1px solid #ccd;padding:.25em .7em;text-align:right}}\
+         th{{background:#eef;text-align:center}} td:first-child{{text-align:left}}\
+         tr.bad td{{background:#fdd}} code{{background:#eee;padding:0 .2em}}\
+         </style></head><body>\
+         <h1>{t}</h1>\
+         <h2>Per-phase totals (all ranks)</h2>{phases}\
+         <h2>Load imbalance</h2>{imb}\
+         <h2>Cost-model drift (tolerance {tol:.1}%)</h2>{dr}\
+         </body></html>",
+        t = esc(title),
+        phases = phase_table(ranks),
+        imb = imbalance_tables(imbalance),
+        dr = drift_table(drift),
+        tol = drift.tol * 100.0,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::imbalance::analyze as imbalance_analyze;
+    use crate::TraceEvent;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn report_is_selfcontained_and_escapes() {
+        let ranks = vec![RankMetrics {
+            rank: 0,
+            phases: BTreeMap::new(),
+        }];
+        let events = vec![TraceEvent {
+            name: "a<b".into(),
+            pid: 0,
+            ts_s: 0.0,
+            dur_s: 1.0,
+            kind: Some("Barrier".into()),
+        }];
+        let imb = imbalance_analyze(&events);
+        let dr = DriftReport {
+            rows: vec![],
+            tol: 0.0,
+        };
+        let html = report("run <1>", &ranks, &imb, &dr);
+        assert!(html.starts_with("<!doctype html>"));
+        assert!(html.contains("run &lt;1&gt;"));
+        assert!(html.contains("a&lt;b"));
+        // Self-contained: no external fetches.
+        assert!(!html.contains("http://"));
+        assert!(!html.contains("https://"));
+        assert!(!html.contains("src="));
+    }
+}

@@ -1,0 +1,220 @@
+//! Per-rank critical paths and per-phase load imbalance from `trace.json`.
+//!
+//! The critical path of a rank is the sum of its compute slices and its
+//! collective wait slices — the two event classes that partition a rank's
+//! wall time in the trace writer. Phase spans (`ts:pack`, `ts:kernel`, …)
+//! overlay the same time and are reported per phase but excluded from the
+//! critical path so nothing is double-counted.
+
+use crate::TraceEvent;
+use std::collections::BTreeMap;
+
+/// One rank's decomposed critical path.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RankPath {
+    pub rank: u64,
+    /// Seconds in compute slices.
+    pub compute_s: f64,
+    /// Seconds parked in collectives.
+    pub wait_s: f64,
+}
+
+impl RankPath {
+    pub fn total_s(&self) -> f64 {
+        self.compute_s + self.wait_s
+    }
+}
+
+/// Load imbalance of one phase across ranks.
+#[derive(Clone, Debug)]
+pub struct PhaseImbalance {
+    pub phase: String,
+    /// Per-rank seconds under this phase, indexed by rank order of
+    /// appearance in the trace.
+    pub per_rank_s: Vec<(u64, f64)>,
+    pub mean_s: f64,
+    pub max_s: f64,
+    /// `max / mean`; 1.0 is perfectly balanced. 0 when the phase is empty.
+    pub imbalance: f64,
+    /// Rank holding the maximum.
+    pub straggler: u64,
+}
+
+/// The full report: per-rank critical paths plus per-phase imbalance rows
+/// (sorted by descending max seconds, so the heaviest phase leads).
+#[derive(Clone, Debug)]
+pub struct ImbalanceReport {
+    pub ranks: Vec<RankPath>,
+    pub phases: Vec<PhaseImbalance>,
+}
+
+impl ImbalanceReport {
+    /// The rank with the longest critical path, if any.
+    pub fn critical_rank(&self) -> Option<&RankPath> {
+        self.ranks
+            .iter()
+            .max_by(|a, b| a.total_s().total_cmp(&b.total_s()))
+    }
+}
+
+/// Builds the report from loaded trace events.
+pub fn analyze(events: &[TraceEvent]) -> ImbalanceReport {
+    let mut by_rank: BTreeMap<u64, RankPath> = BTreeMap::new();
+    // phase -> rank -> seconds (every non-compute slice, collectives and
+    // spans alike, attributed to its name).
+    let mut by_phase: BTreeMap<String, BTreeMap<u64, f64>> = BTreeMap::new();
+
+    for ev in events {
+        let rp = by_rank.entry(ev.pid).or_insert(RankPath {
+            rank: ev.pid,
+            compute_s: 0.0,
+            wait_s: 0.0,
+        });
+        if ev.name == "compute" {
+            rp.compute_s += ev.dur_s;
+        } else {
+            if ev.kind.is_some() {
+                rp.wait_s += ev.dur_s;
+            }
+            *by_phase
+                .entry(ev.name.clone())
+                .or_default()
+                .entry(ev.pid)
+                .or_insert(0.0) += ev.dur_s;
+        }
+    }
+
+    let ranks: Vec<RankPath> = by_rank.into_values().collect();
+    let n_ranks = ranks.len().max(1);
+    let mut phases: Vec<PhaseImbalance> = by_phase
+        .into_iter()
+        .map(|(phase, per_rank)| {
+            let per_rank_s: Vec<(u64, f64)> = per_rank.into_iter().collect();
+            // Mean over ALL ranks in the trace, not just the ranks that
+            // touched the phase: a phase only one rank executes is maximally
+            // imbalanced, and dividing by 1 would hide that.
+            let sum: f64 = per_rank_s.iter().map(|&(_, s)| s).sum();
+            let mean_s = sum / n_ranks as f64;
+            let (straggler, max_s) = per_rank_s
+                .iter()
+                .cloned()
+                .max_by(|a, b| a.1.total_cmp(&b.1))
+                .unwrap_or((0, 0.0));
+            let imbalance = if mean_s > 0.0 { max_s / mean_s } else { 0.0 };
+            PhaseImbalance {
+                phase,
+                per_rank_s,
+                mean_s,
+                max_s,
+                imbalance,
+                straggler,
+            }
+        })
+        .collect();
+    phases.sort_by(|a, b| b.max_s.total_cmp(&a.max_s));
+    ImbalanceReport { ranks, phases }
+}
+
+/// Renders the report as an aligned text table.
+pub fn render(report: &ImbalanceReport) -> String {
+    let mut out = String::new();
+    out.push_str("per-rank critical path:\n");
+    out.push_str(&format!(
+        "  {:<6} {:>12} {:>12} {:>12}\n",
+        "rank", "compute(ms)", "wait(ms)", "total(ms)"
+    ));
+    for r in &report.ranks {
+        out.push_str(&format!(
+            "  {:<6} {:>12.3} {:>12.3} {:>12.3}\n",
+            r.rank,
+            r.compute_s * 1e3,
+            r.wait_s * 1e3,
+            r.total_s() * 1e3
+        ));
+    }
+    if let Some(c) = report.critical_rank() {
+        out.push_str(&format!(
+            "  critical rank: {} ({:.3} ms)\n",
+            c.rank,
+            c.total_s() * 1e3
+        ));
+    }
+    out.push_str("\nper-phase imbalance (max/mean over ranks):\n");
+    out.push_str(&format!(
+        "  {:<20} {:>10} {:>10} {:>9} {:>9}\n",
+        "phase", "mean(ms)", "max(ms)", "imbal", "straggler"
+    ));
+    for p in &report.phases {
+        out.push_str(&format!(
+            "  {:<20} {:>10.3} {:>10.3} {:>9.2} {:>9}\n",
+            p.phase,
+            p.mean_s * 1e3,
+            p.max_s * 1e3,
+            p.imbalance,
+            p.straggler
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(name: &str, pid: u64, dur_s: f64, kind: Option<&str>) -> TraceEvent {
+        TraceEvent {
+            name: name.to_string(),
+            pid,
+            ts_s: 0.0,
+            dur_s,
+            kind: kind.map(str::to_string),
+        }
+    }
+
+    #[test]
+    fn critical_path_sums_compute_and_collective_wait_only() {
+        let events = vec![
+            ev("compute", 0, 2.0, None),
+            ev("ts:bfetch", 0, 1.0, Some("AllToAllV")),
+            ev("ts:kernel", 0, 5.0, None), // span overlay: not on the path
+            ev("compute", 1, 1.0, None),
+            ev("ts:bfetch", 1, 4.0, Some("AllToAllV")),
+        ];
+        let rep = analyze(&events);
+        assert_eq!(rep.ranks.len(), 2);
+        assert_eq!(rep.ranks[0].total_s(), 3.0);
+        assert_eq!(rep.ranks[1].total_s(), 5.0);
+        assert_eq!(rep.critical_rank().unwrap().rank, 1);
+    }
+
+    #[test]
+    fn straggler_and_imbalance_identified_per_phase() {
+        let events = vec![
+            ev("ts:bfetch", 0, 1.0, Some("AllToAllV")),
+            ev("ts:bfetch", 1, 3.0, Some("AllToAllV")),
+            ev("compute", 0, 1.0, None),
+            ev("compute", 1, 1.0, None),
+        ];
+        let rep = analyze(&events);
+        let p = rep.phases.iter().find(|p| p.phase == "ts:bfetch").unwrap();
+        assert_eq!(p.straggler, 1);
+        assert_eq!(p.max_s, 3.0);
+        assert_eq!(p.mean_s, 2.0);
+        assert!((p.imbalance - 1.5).abs() < 1e-12);
+        let text = render(&rep);
+        assert!(text.contains("ts:bfetch"));
+        assert!(text.contains("critical rank: 1"));
+    }
+
+    #[test]
+    fn single_rank_phase_is_flagged_as_imbalanced() {
+        let events = vec![
+            ev("setup:colpart", 0, 2.0, Some("AllGatherV")),
+            ev("compute", 1, 1.0, None),
+        ];
+        let rep = analyze(&events);
+        let p = &rep.phases[0];
+        // mean over both ranks = 1.0, max = 2.0.
+        assert!((p.imbalance - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,260 @@
+//! Baseline-vs-current bench comparison — the CI perf gate.
+//!
+//! Walks every numeric leaf of two `BENCH_*.json` documents and compares
+//! the ones present in both. Direction is inferred from the leaf name, the
+//! same convention every harness in `crates/bench` uses:
+//!
+//! * names ending in `_s` are timings — lower is better;
+//! * names containing `speedup` are ratios — higher is better;
+//! * everything else (sizes, nnz, counts) is informational and never gates.
+//!
+//! Array elements are addressed by their `name` field when they have one
+//! (`datasets[er_small].…`), falling back to the index, so reordering a
+//! dataset list does not misalign the comparison.
+
+use crate::Json;
+use std::collections::BTreeMap;
+
+/// Gate direction of one leaf.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Gate {
+    LowerBetter,
+    HigherBetter,
+    Info,
+}
+
+/// Classifies a leaf path into its gate direction.
+pub fn gate_of(path: &str) -> Gate {
+    let leaf = path.rsplit('.').next().unwrap_or(path);
+    if leaf.contains("speedup") {
+        Gate::HigherBetter
+    } else if leaf.ends_with("_s") {
+        Gate::LowerBetter
+    } else {
+        Gate::Info
+    }
+}
+
+/// One compared leaf.
+#[derive(Clone, Debug)]
+pub struct RegressRow {
+    pub path: String,
+    pub baseline: f64,
+    pub current: f64,
+    /// Relative change `(current − baseline) / |baseline|` (0 when the
+    /// baseline is 0 and current matches, worst-case 1 otherwise).
+    pub change: f64,
+    pub gate: Gate,
+    pub regressed: bool,
+}
+
+/// The full comparison.
+#[derive(Clone, Debug)]
+pub struct RegressReport {
+    pub rows: Vec<RegressRow>,
+    pub tol: f64,
+    /// Leaves present in only one document (never gate, but reported).
+    pub unmatched: Vec<String>,
+}
+
+impl RegressReport {
+    pub fn regressed(&self) -> bool {
+        self.rows.iter().any(|r| r.regressed)
+    }
+}
+
+/// Parses a tolerance argument: `"10%"` → 0.10, `"0.1"` → 0.1.
+pub fn parse_tol(s: &str) -> Result<f64, String> {
+    let (body, scale) = match s.strip_suffix('%') {
+        Some(b) => (b, 0.01),
+        None => (s, 1.0),
+    };
+    let v: f64 = body
+        .trim()
+        .parse()
+        .map_err(|_| format!("cannot parse tolerance {s:?} (want e.g. \"10%\" or \"0.1\")"))?;
+    if !(v * scale).is_finite() || v * scale < 0.0 {
+        return Err(format!(
+            "tolerance {s:?} must be a finite non-negative value"
+        ));
+    }
+    Ok(v * scale)
+}
+
+fn collect_leaves(v: &Json, path: &str, out: &mut BTreeMap<String, f64>) {
+    match v {
+        Json::Num(n) => {
+            out.insert(path.to_string(), *n);
+        }
+        Json::Obj(fields) => {
+            for (k, child) in fields {
+                let p = if path.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{path}.{k}")
+                };
+                collect_leaves(child, &p, out);
+            }
+        }
+        Json::Arr(items) => {
+            for (i, child) in items.iter().enumerate() {
+                let key = child
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .map(str::to_string)
+                    .unwrap_or_else(|| i.to_string());
+                collect_leaves(child, &format!("{path}[{key}]"), out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Compares two bench documents under a relative tolerance.
+pub fn compare(baseline: &Json, current: &Json, tol: f64) -> RegressReport {
+    let mut base = BTreeMap::new();
+    let mut cur = BTreeMap::new();
+    collect_leaves(baseline, "", &mut base);
+    collect_leaves(current, "", &mut cur);
+
+    let mut rows = Vec::new();
+    let mut unmatched = Vec::new();
+    for (path, &b) in &base {
+        match cur.get(path) {
+            None => unmatched.push(format!("baseline-only: {path}")),
+            Some(&c) => {
+                let change = if b != 0.0 {
+                    (c - b) / b.abs()
+                } else if c == 0.0 {
+                    0.0
+                } else {
+                    1.0
+                };
+                let gate = gate_of(path);
+                let regressed = match gate {
+                    Gate::LowerBetter => change > tol,
+                    Gate::HigherBetter => change < -tol,
+                    Gate::Info => false,
+                };
+                rows.push(RegressRow {
+                    path: path.clone(),
+                    baseline: b,
+                    current: c,
+                    change,
+                    gate,
+                    regressed,
+                });
+            }
+        }
+    }
+    for path in cur.keys() {
+        if !base.contains_key(path) {
+            unmatched.push(format!("current-only: {path}"));
+        }
+    }
+    RegressReport {
+        rows,
+        tol,
+        unmatched,
+    }
+}
+
+/// Renders the comparison; gated rows first, informational rows summarised.
+pub fn render(report: &RegressReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<48} {:>12} {:>12} {:>8}  gate\n",
+        "metric", "baseline", "current", "change"
+    ));
+    let mut info = 0usize;
+    for r in &report.rows {
+        if r.gate == Gate::Info {
+            info += 1;
+            continue;
+        }
+        out.push_str(&format!(
+            "{:<48} {:>12.6} {:>12.6} {:>7.1}%  {}\n",
+            r.path,
+            r.baseline,
+            r.current,
+            r.change * 100.0,
+            if r.regressed { "REGRESSED" } else { "ok" }
+        ));
+    }
+    out.push_str(&format!(
+        "({} informational leaves compared, tolerance {:.1}%)\n",
+        info,
+        report.tol * 100.0
+    ));
+    for u in &report.unmatched {
+        out.push_str(&format!("note: {u}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    fn doc(s: &str) -> Json {
+        parse(s).unwrap()
+    }
+
+    #[test]
+    fn tolerance_parses_percent_and_fraction() {
+        assert_eq!(parse_tol("10%").unwrap(), 0.10);
+        assert_eq!(parse_tol("0.25").unwrap(), 0.25);
+        assert!(parse_tol("fast").is_err());
+        assert!(parse_tol("-1%").is_err());
+    }
+
+    #[test]
+    fn slowdown_beyond_tol_regresses_and_exit_maps_nonzero() {
+        let base = doc(r#"{"datasets":[{"name":"er","spgemm":{"1":{"critical_path_s":1.0}}}]}"#);
+        let cur = doc(r#"{"datasets":[{"name":"er","spgemm":{"1":{"critical_path_s":1.5}}}]}"#);
+        let rep = compare(&base, &cur, 0.10);
+        assert!(rep.regressed());
+        let row = &rep.rows[0];
+        assert_eq!(row.path, "datasets[er].spgemm.1.critical_path_s");
+        assert!((row.change - 0.5).abs() < 1e-12);
+        assert!(render(&rep).contains("REGRESSED"));
+    }
+
+    #[test]
+    fn slowdown_within_tol_passes() {
+        let base = doc(r#"{"t_s":1.0}"#);
+        let cur = doc(r#"{"t_s":1.05}"#);
+        assert!(!compare(&base, &cur, 0.10).regressed());
+        // Speedups (improvements) never regress, however large.
+        let faster = doc(r#"{"t_s":0.2}"#);
+        assert!(!compare(&base, &faster, 0.10).regressed());
+    }
+
+    #[test]
+    fn speedup_drop_regresses_and_counts_never_gate() {
+        let base = doc(r#"{"spgemm_speedup_4t":2.0,"a_nnz":100}"#);
+        let cur = doc(r#"{"spgemm_speedup_4t":1.0,"a_nnz":999}"#);
+        let rep = compare(&base, &cur, 0.10);
+        assert!(rep.regressed());
+        let nnz = rep.rows.iter().find(|r| r.path == "a_nnz").unwrap();
+        assert_eq!(nnz.gate, Gate::Info);
+        assert!(!nnz.regressed);
+    }
+
+    #[test]
+    fn dataset_reorder_does_not_misalign() {
+        let base = doc(r#"{"datasets":[{"name":"a","t_s":1.0},{"name":"b","t_s":9.0}]}"#);
+        let cur = doc(r#"{"datasets":[{"name":"b","t_s":9.0},{"name":"a","t_s":1.0}]}"#);
+        assert!(!compare(&base, &cur, 0.01).regressed());
+    }
+
+    #[test]
+    fn missing_leaves_are_reported_not_gated() {
+        let base = doc(r#"{"old_s":1.0}"#);
+        let cur = doc(r#"{"new_s":1.0}"#);
+        let rep = compare(&base, &cur, 0.1);
+        assert!(!rep.regressed());
+        assert_eq!(rep.unmatched.len(), 2);
+    }
+}

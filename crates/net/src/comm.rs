@@ -21,6 +21,7 @@
 //! [`CommError::PeerExited`] instead of an eternal hang.
 
 use crate::fault::{CommError, FailureInfo, FaultCtx, FaultKind, ParkedPosition};
+use crate::flight::{FlightEventKind, FlightRecorder};
 use crate::metrics::MetricsRegistry;
 use crate::stats::{CollKind, CollectiveRecord, GroupInfo, RankProfile};
 use crate::trace::TraceConfig;
@@ -112,6 +113,10 @@ pub struct Comm {
     /// The rank's metrics registry (shared with sub-communicators); only
     /// populated when [`Comm::trace_on`] — collectives never touch it.
     metrics: Arc<Mutex<MetricsRegistry>>,
+    /// Always-on flight recorder (shared with sub-communicators): every
+    /// collective logs a posted/completed event pair into the fixed ring,
+    /// and algorithms add retry/mode/step markers via [`Comm::flight`].
+    flight: Arc<Mutex<FlightRecorder>>,
     /// Gate for algorithm-level trace instrumentation.
     trace: TraceConfig,
     /// Fault-injection context; `None` outside `World::try_run` (and for
@@ -126,6 +131,7 @@ impl Comm {
         rank: usize,
         profile: Arc<Mutex<RankProfile>>,
         metrics: Arc<Mutex<MetricsRegistry>>,
+        flight: Arc<Mutex<FlightRecorder>>,
         trace: TraceConfig,
     ) -> Self {
         let size = group.info.world_ranks.len();
@@ -137,6 +143,7 @@ impl Comm {
             pending: (0..size).map(|_| VecDeque::new()).collect(),
             profile,
             metrics,
+            flight,
             trace,
             fault: None,
         }
@@ -222,6 +229,32 @@ impl Comm {
             .record_span_between(tag.into(), started, ended);
     }
 
+    /// Opens a drop-guard span: the span is recorded when the guard drops,
+    /// so early returns (`?` on a [`CommError`]) and unwinds close it
+    /// instead of leaking an open span out of the trace. The tag closure
+    /// only runs when tracing is on, so a disabled trace pays no
+    /// formatting/allocation cost.
+    ///
+    /// The guard holds the profile handle, not `&self`, so `&mut self`
+    /// collectives can run while it is open.
+    pub fn span(&self, tag: impl FnOnce() -> String) -> SpanGuard {
+        if self.trace.on() {
+            SpanGuard {
+                inner: Some((Arc::clone(&self.profile), tag(), Instant::now())),
+            }
+        } else {
+            SpanGuard { inner: None }
+        }
+    }
+
+    /// Mutable access to this rank's flight recorder, for algorithm-level
+    /// events (retries, mode decisions, step markers). Sub-communicators
+    /// share the parent's recorder. Always available — the recorder is on
+    /// even when tracing is off.
+    pub fn flight<R>(&self, f: impl FnOnce(&mut FlightRecorder) -> R) -> R {
+        f(&mut self.flight.lock())
+    }
+
     fn next_seq(&mut self) -> u64 {
         let s = self.seq;
         self.seq += 1;
@@ -233,6 +266,16 @@ impl Comm {
     /// sequence number or sending anything, so an immediate retry re-enters
     /// in lock-step with the group.
     fn fault_entry(&mut self, kind: CollKind, tag: &str) -> Result<EntryFx, CommError> {
+        // Flight-record the posting *before* consulting the fault plan, so
+        // a crashed rank's ring ends with exactly the collective (seq, kind,
+        // tag) that killed it.
+        self.flight.lock().record(
+            tag,
+            FlightEventKind::CollPosted {
+                seq: self.seq,
+                kind,
+            },
+        );
         let Some(ctx) = &self.fault else {
             return Ok(EntryFx::clean());
         };
@@ -523,6 +566,17 @@ impl Comm {
         injected_delay_secs: f64,
         entered: Instant,
     ) {
+        // `record` runs after `next_seq`, so the completed collective's
+        // sequence number is the previous one.
+        self.flight.lock().record(
+            &tag,
+            FlightEventKind::CollDone {
+                seq: self.seq.wrapping_sub(1),
+                kind,
+                sent: bytes_to.iter().map(|&(_, b)| b).sum(),
+                recv: bytes_received,
+            },
+        );
         let rec = CollectiveRecord {
             kind,
             tag,
@@ -1028,6 +1082,7 @@ impl Comm {
             my_new_rank,
             Arc::clone(&self.profile),
             Arc::clone(&self.metrics),
+            Arc::clone(&self.flight),
             self.trace,
         );
         // A rank's splits share its fault context: the collective counter
@@ -1035,6 +1090,39 @@ impl Comm {
         // means the k-th collective the rank enters anywhere.
         sub.fault = self.fault.clone();
         sub
+    }
+}
+
+/// A phase span that records itself when dropped (see [`Comm::span`]).
+///
+/// Binding matters: `let _guard = comm.span(...)` lives to the end of the
+/// scope; `let _ = comm.span(...)` drops — and records — immediately.
+#[must_use = "the span closes when the guard drops; bind it to a named variable"]
+pub struct SpanGuard {
+    inner: Option<(Arc<Mutex<RankProfile>>, String, Instant)>,
+}
+
+impl SpanGuard {
+    /// A guard that records nothing (what [`Comm::span`] returns with
+    /// tracing off).
+    pub fn inactive() -> Self {
+        Self { inner: None }
+    }
+
+    /// True when dropping this guard will record a span.
+    pub fn is_active(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Closes the span now (equivalent to dropping the guard).
+    pub fn end(self) {}
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some((profile, tag, started)) = self.inner.take() {
+            profile.lock().record_span(tag, started);
+        }
     }
 }
 

@@ -546,6 +546,10 @@ pub struct HangEntry {
     /// Where the rank was parked when the run went down (survivors that
     /// errored out while waiting report the collective they were blocked on).
     pub parked: Option<ParkedPosition>,
+    /// The rank's last flight-recorder events (rendered, oldest first) —
+    /// the black box of what it was doing right before the failure. Empty
+    /// for ranks that completed normally.
+    pub flight_tail: Vec<String>,
 }
 
 /// Diagnosis of a failed run: for every rank, whether it completed, where it
@@ -572,6 +576,12 @@ impl fmt::Display for HangReport {
                     writeln!(f, "  rank {}: parked on {} — {}", e.world_rank, at, cause)?
                 }
                 (Some(cause), None) => writeln!(f, "  rank {}: {}", e.world_rank, cause)?,
+            }
+            if !e.flight_tail.is_empty() {
+                writeln!(f, "    last {} flight events:", e.flight_tail.len())?;
+                for line in &e.flight_tail {
+                    writeln!(f, "      {line}")?;
+                }
             }
         }
         Ok(())

@@ -29,19 +29,25 @@
 //! parked when a run went down. Fallible `try_*` variants of every
 //! collective return typed [`CommError`]s instead of panicking.
 
+pub mod alloc;
 pub mod comm;
 pub mod cost;
 pub mod fault;
+pub mod flight;
 pub mod metrics;
 pub mod stats;
 pub mod trace;
 pub mod world;
 
-pub use comm::Comm;
+pub use comm::{Comm, SpanGuard};
 pub use cost::{CostModel, ModeledTime};
 pub use fault::{
     CommError, Fault, FaultKind, FaultPlan, HangEntry, HangReport, ParkedPosition, RankFailure,
     Trigger,
+};
+pub use flight::{
+    write_flight_jsonl, FlightEvent, FlightEventKind, FlightRecorder, FlightTag,
+    DEFAULT_FLIGHT_CAPACITY,
 };
 pub use metrics::{Histogram, MetricValue, Metrics, MetricsRegistry};
 pub use stats::{CollKind, CollectiveRecord, PhaseSpan, RankProfile, Segment};

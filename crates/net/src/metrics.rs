@@ -82,6 +82,53 @@ impl Histogram {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// Upper bound of the bucket holding the `q`-quantile sample
+    /// (`0 < q <= 1`), clamped into `[min, max]`.
+    ///
+    /// Returns `None` on an empty histogram — an empty p99 has no value and
+    /// silently reporting 0 would read as "all messages were tiny". On a
+    /// singleton histogram every quantile is exactly the one sample (the
+    /// clamp collapses the bucket range to `min == max`). The result is
+    /// otherwise an upper bound with power-of-two resolution, which is what
+    /// the bucketing can support.
+    ///
+    /// # Panics
+    /// Panics if `q` is not in `(0, 1]` (a caller bug, not a data state).
+    pub fn percentile(&self, q: f64) -> Option<u64> {
+        assert!(q > 0.0 && q <= 1.0, "quantile {q} outside (0, 1]");
+        if self.count == 0 {
+            return None;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (k, &n) in self.buckets.iter().enumerate() {
+            cum += n;
+            if cum >= target {
+                // Bucket k holds samples of bit length k: 0 for k = 0,
+                // otherwise [2^(k-1), 2^k).
+                let upper = match k {
+                    0 => 0,
+                    k if k >= 64 => u64::MAX,
+                    k => (1u64 << k) - 1,
+                };
+                return Some(upper.clamp(self.min, self.max));
+            }
+        }
+        // Unreachable: bucket counts always sum to `count`.
+        Some(self.max)
+    }
+
+    /// Median ([`Histogram::percentile`] at 0.5); `None` while empty.
+    pub fn p50(&self) -> Option<u64> {
+        self.percentile(0.5)
+    }
+
+    /// 99th percentile ([`Histogram::percentile`] at 0.99); `None` while
+    /// empty.
+    pub fn p99(&self) -> Option<u64> {
+        self.percentile(0.99)
+    }
 }
 
 /// One typed metric.
@@ -313,11 +360,19 @@ impl MetricsRegistry {
                     ));
                 }
                 MetricValue::Hist(h) => {
-                    let min = if h.count == 0 { 0 } else { h.min };
-                    out.push_str(&format!(
-                        "{{\"type\":\"histogram\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{}}}",
-                        h.count, h.sum, min, h.max
-                    ));
+                    // Percentiles are omitted (not rendered as 0) while
+                    // empty, mirroring `Histogram::percentile`'s `None`.
+                    match (h.p50(), h.p99()) {
+                        (Some(p50), Some(p99)) => out.push_str(&format!(
+                            "{{\"type\":\"histogram\",\"count\":{},\"sum\":{},\"min\":{},\
+                             \"max\":{},\"p50\":{p50},\"p99\":{p99}}}",
+                            h.count, h.sum, h.min, h.max
+                        )),
+                        _ => out.push_str(&format!(
+                            "{{\"type\":\"histogram\",\"count\":0,\"sum\":{},\"min\":0,\"max\":{}}}",
+                            h.sum, h.max
+                        )),
+                    }
                 }
             }
         }
@@ -423,6 +478,71 @@ mod tests {
         assert_eq!(h.buckets[2], 2); // 2, 3
         assert_eq!(h.buckets[11], 1); // 1024
         assert!((h.mean() - 206.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_none_on_empty() {
+        let h = Histogram::default();
+        assert_eq!(h.percentile(0.99), None);
+        assert_eq!(h.p50(), None);
+        assert_eq!(h.p99(), None);
+    }
+
+    #[test]
+    fn percentile_exact_on_singleton() {
+        for v in [0u64, 1, 7, 1 << 40, u64::MAX] {
+            let mut h = Histogram::default();
+            h.observe(v);
+            // A single sample is every quantile, exactly — the bucket upper
+            // bound must clamp down to it.
+            assert_eq!(h.percentile(0.01), Some(v), "v={v}");
+            assert_eq!(h.p50(), Some(v), "v={v}");
+            assert_eq!(h.p99(), Some(v), "v={v}");
+        }
+    }
+
+    #[test]
+    fn percentile_walks_buckets_and_clamps() {
+        let mut h = Histogram::default();
+        for v in [1u64, 2, 3, 1000] {
+            h.observe(v);
+        }
+        // p50 (target = 2nd of 4 samples) lands in bucket [2, 4).
+        assert_eq!(h.p50(), Some(3));
+        // p99 (target = 4th sample) lands in the bucket of 1000, whose
+        // upper bound 1023 clamps to the observed max.
+        assert_eq!(h.p99(), Some(1000));
+        assert_eq!(h.percentile(1.0), Some(1000));
+        // Monotone in q, bounded by [min, max].
+        let qs = [0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0];
+        let ps: Vec<u64> = qs.iter().map(|&q| h.percentile(q).unwrap()).collect();
+        assert!(ps.windows(2).all(|w| w[0] <= w[1]), "{ps:?}");
+        assert!(ps.iter().all(|&p| (h.min..=h.max).contains(&p)));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside (0, 1]")]
+    fn percentile_rejects_bad_quantile() {
+        let mut h = Histogram::default();
+        h.observe(1);
+        let _ = h.percentile(0.0);
+    }
+
+    #[test]
+    fn percentiles_survive_merge() {
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        for v in 1..=50u64 {
+            a.observe(v);
+        }
+        for v in 51..=100u64 {
+            b.observe(v);
+        }
+        a.merge(&b);
+        // 100 samples 1..=100: p50 target is the 50th; bucket upper bound
+        // of 50 (bit length 6) is 63.
+        assert_eq!(a.p50(), Some(63));
+        assert_eq!(a.p99(), Some(100)); // bucket [64,128) clamps to max
     }
 
     #[test]

@@ -376,6 +376,73 @@ mod tests {
     }
 
     #[test]
+    fn span_guard_closes_on_early_return() {
+        use crate::comm::Comm;
+        fn body(comm: &mut Comm) -> Result<(), ()> {
+            let _g = comm.span(|| "guarded:a".to_string());
+            comm.barrier("b");
+            Err(()) // early exit: the guard must still close the span
+        }
+        let out = World::run_traced(2, TraceConfig::enabled(), |comm| {
+            let _ = body(comm);
+        });
+        for p in &out.profiles {
+            let spans: Vec<_> = p.spans.iter().filter(|s| s.tag == "guarded:a").collect();
+            assert_eq!(spans.len(), 1, "exactly one closed span");
+            assert!(spans[0].end_secs >= spans[0].start_secs);
+        }
+    }
+
+    #[test]
+    fn span_guard_is_free_when_trace_off() {
+        let out = World::run(2, |comm| {
+            let g = comm.span(|| unreachable!("tag closure must not run with tracing off"));
+            assert!(!g.is_active());
+            g.end();
+            comm.barrier("b");
+        });
+        assert!(out.profiles.iter().all(|p| p.spans.is_empty()));
+    }
+
+    #[test]
+    fn collectives_land_in_flight_recorder() {
+        use crate::flight::FlightEventKind;
+        let out = World::run(2, |comm| {
+            comm.barrier("fl:sync");
+            comm.allreduce(1u64, |a, b| a + b, "fl:sum")
+        });
+        for fl in &out.flights {
+            // Two collectives → two posted + two done events.
+            assert_eq!(fl.total_recorded(), 4);
+            let kinds: Vec<_> = fl.in_order().map(|e| e.kind).collect();
+            assert!(matches!(
+                kinds[0],
+                FlightEventKind::CollPosted { seq: 0, .. }
+            ));
+            assert!(matches!(kinds[1], FlightEventKind::CollDone { seq: 0, .. }));
+            assert!(matches!(
+                kinds[2],
+                FlightEventKind::CollPosted { seq: 1, .. }
+            ));
+            let tags: Vec<&str> = fl.in_order().map(|e| e.tag.as_str()).collect();
+            assert_eq!(tags, vec!["fl:sync", "fl:sync", "fl:sum", "fl:sum"]);
+        }
+    }
+
+    #[test]
+    fn split_shares_parent_flight_recorder() {
+        let out = World::run(4, |comm| {
+            let mut sub = comm.split(comm.rank() % 2, comm.rank());
+            sub.barrier("sub:b");
+        });
+        for fl in &out.flights {
+            let tags: Vec<&str> = fl.in_order().map(|e| e.tag.as_str()).collect();
+            assert!(tags.contains(&"comm:split"), "{tags:?}");
+            assert!(tags.contains(&"sub:b"), "{tags:?}");
+        }
+    }
+
+    #[test]
     fn spans_only_recorded_when_traced() {
         let out = World::run(2, |comm| {
             let t = std::time::Instant::now();

@@ -4,6 +4,7 @@ use crate::comm::{Comm, GroupShared};
 use crate::fault::{
     FailureBoard, FailureInfo, FaultCtx, FaultPlan, HangEntry, HangReport, RankFailure,
 };
+use crate::flight::FlightRecorder;
 use crate::metrics::MetricsRegistry;
 use crate::stats::RankProfile;
 use crate::trace::TraceConfig;
@@ -20,6 +21,9 @@ pub struct RunOutput<R> {
     /// `metrics[i]` is rank `i`'s metrics registry (empty unless the run was
     /// traced and the algorithm recorded into it).
     pub metrics: Vec<MetricsRegistry>,
+    /// `flights[i]` is rank `i`'s flight-recorder ring (always populated —
+    /// the recorder is on regardless of tracing).
+    pub flights: Vec<FlightRecorder>,
 }
 
 /// Result of a fault-aware run ([`World::try_run`]): per-rank outcomes
@@ -34,6 +38,9 @@ pub struct TryRunOutput<R> {
     /// `metrics[i]` is rank `i`'s metrics registry (present even for failed
     /// ranks, up to the point of failure).
     pub metrics: Vec<MetricsRegistry>,
+    /// `flights[i]` is rank `i`'s flight-recorder ring (present even for
+    /// failed ranks — its tail is the failure's black box).
+    pub flights: Vec<FlightRecorder>,
     /// Per-rank diagnosis — which collective sequence number and phase tag
     /// each rank was parked on — whenever at least one rank failed.
     pub hang_report: Option<HangReport>,
@@ -57,6 +64,7 @@ impl<R> TryRunOutput<R> {
             results,
             profiles: self.profiles,
             metrics: self.metrics,
+            flights: self.flights,
         }
     }
 }
@@ -84,6 +92,9 @@ fn unwrap_arcs<T>(arcs: Vec<Arc<Mutex<T>>>, clone_out: impl Fn(&T) -> T) -> Vec<
         })
         .collect()
 }
+
+/// How many flight-recorder events a failed rank's [`HangEntry`] embeds.
+const HANG_TAIL_EVENTS: usize = 8;
 
 /// Entry point to the simulated cluster.
 pub struct World;
@@ -132,6 +143,9 @@ impl World {
         let metrics: Vec<Arc<Mutex<MetricsRegistry>>> = (0..p)
             .map(|_| Arc::new(Mutex::new(MetricsRegistry::new())))
             .collect();
+        let flights: Vec<Arc<Mutex<FlightRecorder>>> = (0..p)
+            .map(|r| Arc::new(Mutex::new(FlightRecorder::new(r))))
+            .collect();
 
         let results: Vec<R> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..p)
@@ -139,10 +153,11 @@ impl World {
                     let group = Arc::clone(&group);
                     let profile = Arc::clone(&profiles[rank]);
                     let registry = Arc::clone(&metrics[rank]);
+                    let flight = Arc::clone(&flights[rank]);
                     let f = &f;
                     scope.spawn(move || {
                         let mut comm =
-                            Comm::new(group, rank, Arc::clone(&profile), registry, trace);
+                            Comm::new(group, rank, Arc::clone(&profile), registry, flight, trace);
                         let out = f(&mut comm);
                         profile.lock().finish();
                         out
@@ -160,10 +175,12 @@ impl World {
 
         let profiles = unwrap_arcs(profiles, |p| p.snapshot());
         let metrics = unwrap_arcs(metrics, |m| m.clone());
+        let flights = unwrap_arcs(flights, |fl| fl.clone());
         RunOutput {
             results,
             profiles,
             metrics,
+            flights,
         }
     }
 
@@ -209,6 +226,9 @@ impl World {
         let metrics: Vec<Arc<Mutex<MetricsRegistry>>> = (0..p)
             .map(|_| Arc::new(Mutex::new(MetricsRegistry::new())))
             .collect();
+        let flights: Vec<Arc<Mutex<FlightRecorder>>> = (0..p)
+            .map(|r| Arc::new(Mutex::new(FlightRecorder::new(r))))
+            .collect();
         let inject = !plan.is_empty();
         let plan = Arc::new(plan.clone());
         let board = FailureBoard::new();
@@ -219,12 +239,13 @@ impl World {
                     let group = Arc::clone(&group);
                     let profile = Arc::clone(&profiles[rank]);
                     let registry = Arc::clone(&metrics[rank]);
+                    let flight = Arc::clone(&flights[rank]);
                     let plan = Arc::clone(&plan);
                     let board = Arc::clone(&board);
                     let f = &f;
                     scope.spawn(move || {
                         let mut comm =
-                            Comm::new(group, rank, Arc::clone(&profile), registry, trace);
+                            Comm::new(group, rank, Arc::clone(&profile), registry, flight, trace);
                         if inject {
                             comm.set_fault(FaultCtx::new(plan, Arc::clone(&board), rank));
                         }
@@ -267,6 +288,7 @@ impl World {
 
         let profiles: Vec<RankProfile> = unwrap_arcs(profiles, |p| p.snapshot());
         let metrics: Vec<MetricsRegistry> = unwrap_arcs(metrics, |m| m.clone());
+        let flights: Vec<FlightRecorder> = unwrap_arcs(flights, |fl| fl.clone());
 
         let results: Vec<Result<R, RankFailure>> = outcomes
             .into_iter()
@@ -288,6 +310,8 @@ impl World {
             .collect();
 
         let hang_report = if results.iter().any(|r| r.is_err()) {
+            // Failed ranks get their flight-recorder tail embedded: the
+            // last few events before death, straight from the ring.
             Some(HangReport {
                 entries: (0..p)
                     .map(|rank| match &results[rank] {
@@ -295,11 +319,13 @@ impl World {
                             world_rank: rank,
                             failure: None,
                             parked: None,
+                            flight_tail: Vec::new(),
                         },
                         Err(fail) => HangEntry {
                             world_rank: rank,
                             failure: Some(fail.cause.clone()),
                             parked: fail.parked.clone().or_else(|| board.parked_of(rank)),
+                            flight_tail: flights[rank].tail_strings(HANG_TAIL_EVENTS),
                         },
                     })
                     .collect(),
@@ -312,6 +338,7 @@ impl World {
             results,
             profiles,
             metrics,
+            flights,
             hang_report,
         }
     }

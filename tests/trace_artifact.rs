@@ -1,10 +1,11 @@
 //! CI artifact smoke test (`--features trace`): runs a small traced
-//! TS-SpGEMM and writes `results/ci-trace/trace.json` + `metrics.jsonl`,
-//! which the CI workflow uploads. Asserts the trace is structurally sound
-//! Chrome `trace_event` JSON (one pid per rank, phase-tagged slices).
+//! TS-SpGEMM and writes `results/ci-trace/trace.json` + `metrics.jsonl` +
+//! `flight.jsonl`, which the CI workflow uploads (and lints with
+//! `inspect lint-trace`). Asserts the trace is structurally sound Chrome
+//! `trace_event` JSON (one pid per rank, phase-tagged slices).
 #![cfg(feature = "trace")]
 
-use tsgemm::core::trace::write_trace_files;
+use tsgemm::core::trace::{write_flight_jsonl, write_trace_files};
 use tsgemm::core::{ts_spgemm, BlockDist, ColBlocks, DistCsr, TsConfig};
 use tsgemm::net::{TraceConfig, World};
 use tsgemm::sparse::gen::{erdos_renyi, random_tall};
@@ -29,6 +30,7 @@ fn writes_ci_trace_artifact() {
         .join("results")
         .join("ci-trace");
     let (trace_path, metrics_path) = write_trace_files(&dir, &out.profiles, &out.metrics).unwrap();
+    let flight_path = write_flight_jsonl(&dir, &out.flights).unwrap();
 
     let json = std::fs::read_to_string(&trace_path).unwrap();
     assert!(json.starts_with("{\"traceEvents\":["));
@@ -51,9 +53,21 @@ fn writes_ci_trace_artifact() {
     let jsonl = std::fs::read_to_string(&metrics_path).unwrap();
     assert_eq!(jsonl.lines().count(), p, "one metrics object per rank");
     assert!(jsonl.contains("predicted_bytes"));
+
+    let flight = std::fs::read_to_string(&flight_path).unwrap();
+    assert!(flight.contains("\"coll_posted\""));
+    assert!(flight.contains("\"coll_done\""));
+    assert!(flight.contains("ts:bfetch"));
+    for rank in 0..p {
+        assert!(
+            flight.contains(&format!("{{\"rank\":{rank},")),
+            "missing flight events for rank {rank}"
+        );
+    }
     println!(
-        "wrote {} and {}",
+        "wrote {}, {} and {}",
         trace_path.display(),
-        metrics_path.display()
+        metrics_path.display(),
+        flight_path.display()
     );
 }
