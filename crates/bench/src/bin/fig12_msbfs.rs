@@ -8,7 +8,10 @@
 //! speedups on the sparse tails (paper: up to ~10x, ~5x on average).
 
 use tsgemm_apps::msbfs::{msbfs_summa2d, msbfs_ts, BfsConfig};
-use tsgemm_bench::{dataset, env_usize, fmt_bytes, fmt_secs, trace_config, Report, TraceOut};
+use tsgemm_bench::{
+    dataset, env_usize, fmt_bytes, fmt_secs, telemetry_flag, telemetry_hold, trace_config, Report,
+    TraceOut,
+};
 use tsgemm_core::colpart::ColBlocks;
 use tsgemm_core::dist::DistCsr;
 use tsgemm_core::part::BlockDist;
@@ -27,22 +30,20 @@ fn main() {
     let n_sources = env_usize("TSGEMM_SOURCES", 128);
     let cm = CostModel::default();
     let trace_out = TraceOut::from_args("fig12_msbfs");
+    telemetry_flag();
 
     for alias in ["uk", "arabic", "it", "gap"] {
         let ds = dataset(alias);
         let acoo = ds.graph.map_values(|_| true);
         let (_, sources) = init_frontier(ds.n, n_sources.min(ds.n), 0xF12);
 
-        // TS-SpGEMM backend.
+        // TS-SpGEMM backend. Each backend dumps right after its own run so
+        // the telemetry snapshot riding along in the dump belongs to it.
         let ts_out = World::run_traced(p, trace_config(&trace_out), |comm| {
             let dist = BlockDist::new(ds.n, p);
             let a = DistCsr::from_global_coo::<BoolAndOr>(&acoo, dist, comm.rank(), ds.n);
             let ac = ColBlocks::build::<BoolAndOr>(comm, &a);
             msbfs_ts(comm, &a, &ac, &sources, &BfsConfig::default()).1
-        });
-        // SUMMA-2D backend (CombBLAS formulation).
-        let su_out = World::run_traced(p, trace_config(&trace_out), |comm| {
-            msbfs_summa2d(comm, &acoo, &sources, 1000, "bfs2d").3
         });
         if let Some(out) = &trace_out {
             out.dump_parts(
@@ -52,6 +53,12 @@ fn main() {
                 &ts_out.flights,
             )
             .unwrap();
+        }
+        // SUMMA-2D backend (CombBLAS formulation).
+        let su_out = World::run_traced(p, trace_config(&trace_out), |comm| {
+            msbfs_summa2d(comm, &acoo, &sources, 1000, "bfs2d").3
+        });
+        if let Some(out) = &trace_out {
             out.dump_parts(
                 &format!("{alias}-summa2d"),
                 &su_out.profiles,
@@ -107,4 +114,5 @@ fn main() {
         let path = rep.write_csv(&format!("fig12_msbfs_{alias}")).unwrap();
         println!("wrote {}", path.display());
     }
+    telemetry_hold();
 }

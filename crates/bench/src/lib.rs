@@ -71,3 +71,60 @@ pub fn thread_sweep() -> Vec<usize> {
         None => vec![tsgemm_pool::configured_threads()],
     }
 }
+
+/// Activates live telemetry when `--telemetry[=ADDR]` (or `--telemetry ADDR`)
+/// is on the command line. The flag sets `TSGEMM_TELEMETRY_ADDR` (unless the
+/// user already exported it, which wins) and starts the global aggregator +
+/// HTTP endpoint, printing the actually-bound address — bare `--telemetry`
+/// binds `127.0.0.1:0` and lets the OS pick a port. Call once near the top
+/// of `main`, before any [`tsgemm_net::World`] run.
+pub fn telemetry_flag() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr: Option<Option<String>> = None;
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(rest) = args[i].strip_prefix("--telemetry=") {
+            addr = Some(Some(rest.to_string()));
+        } else if args[i] == "--telemetry" {
+            // Optional ADDR operand: a host:port that isn't another flag.
+            match args.get(i + 1) {
+                Some(next) if !next.starts_with("--") && next.contains(':') => {
+                    addr = Some(Some(next.clone()));
+                    i += 1;
+                }
+                _ => addr = Some(None),
+            }
+        }
+        i += 1;
+    }
+    let explicit_env = std::env::var_os(tsgemm_net::TELEMETRY_ADDR_ENV).is_some();
+    if addr.is_none() && !explicit_env {
+        return;
+    }
+    if !explicit_env {
+        std::env::set_var(
+            tsgemm_net::TELEMETRY_ADDR_ENV,
+            addr.flatten().as_deref().unwrap_or("127.0.0.1:0"),
+        );
+    }
+    match tsgemm_net::telemetry::global() {
+        Some(t) => eprintln!(
+            "telemetry: serving http://{0}/metrics  http://{0}/snapshot.json  http://{0}/stacks.folded",
+            t.addr()
+        ),
+        None => eprintln!("telemetry: endpoint failed to start (see warning above)"),
+    }
+}
+
+/// Holds the telemetry endpoint open for `TSGEMM_TELEMETRY_HOLD_SECS`
+/// seconds after the run (default 0, i.e. no hold) so external scrapers can
+/// still read the final state. Call at the end of `main`.
+pub fn telemetry_hold() {
+    let secs = env_usize("TSGEMM_TELEMETRY_HOLD_SECS", 0);
+    if secs > 0 {
+        if let Some(t) = tsgemm_net::telemetry::global() {
+            eprintln!("telemetry: holding http://{}/ open for {secs}s", t.addr());
+            std::thread::sleep(std::time::Duration::from_secs(secs as u64));
+        }
+    }
+}

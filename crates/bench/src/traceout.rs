@@ -87,6 +87,19 @@ impl TraceOut {
         };
         let (trace_path, metrics_path) = write_trace_files(&dir, profiles, metrics)?;
         let flight_path = write_flight_jsonl(&dir, flights)?;
+        // With live telemetry on, the aggregator's final state rides along:
+        // `snapshot.json` (the `/snapshot.json` document) and `stacks.folded`
+        // (flamegraph input for `inspect flame`).
+        if let Some(t) = tsgemm_net::telemetry::global() {
+            let snap = t.snapshot();
+            std::fs::write(dir.join("snapshot.json"), snap.to_json())?;
+            std::fs::write(dir.join("stacks.folded"), snap.folded_text())?;
+            println!(
+                "wrote {} and {}",
+                dir.join("snapshot.json").display(),
+                dir.join("stacks.folded").display()
+            );
+        }
         let rollup = phase_rollup(profiles, metrics);
         println!("-- phase roll-up ({label}) --");
         println!("{}", render_rollup(&rollup));

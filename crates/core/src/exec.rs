@@ -171,7 +171,7 @@ fn alltoallv_retry<T: Clone + Send + 'static>(
             Err(e) if e.is_transient() && backup.is_some() => {
                 *retries += 1;
                 attempt += 1;
-                comm.flight(|f| f.record(&tag, FlightEventKind::Retry { attempt }));
+                comm.flight_record(&tag, FlightEventKind::Retry { attempt });
                 bufs = backup.unwrap();
             }
             Err(e) => return Err(e),
@@ -253,15 +253,13 @@ pub fn try_ts_spgemm<S: Semiring>(
 
     for rb in 0..tiling.n_row_bands {
         for cb in 0..tiling.n_col_bands {
-            comm.flight(|f| {
-                f.record(
-                    &cfg.tag,
-                    FlightEventKind::StepStart {
-                        rb: rb as u32,
-                        cb: cb as u32,
-                    },
-                )
-            });
+            comm.flight_record(
+                &cfg.tag,
+                FlightEventKind::StepStart {
+                    rb: rb as u32,
+                    cb: cb as u32,
+                },
+            );
             // ---- server role: pack B rows / compute partial C ------------
             let pack_span = comm.span(|| format!("{}:pack", cfg.tag));
             let mut bsend: Vec<Vec<Trip<S::T>>> = (0..p).map(|_| Vec::new()).collect();
@@ -419,15 +417,13 @@ pub fn try_ts_spgemm<S: Semiring>(
                 }
             }
             merge_span.end();
-            comm.flight(|f| {
-                f.record(
-                    &cfg.tag,
-                    FlightEventKind::StepEnd {
-                        rb: rb as u32,
-                        cb: cb as u32,
-                    },
-                )
-            });
+            comm.flight_record(
+                &cfg.tag,
+                FlightEventKind::StepEnd {
+                    rb: rb as u32,
+                    cb: cb as u32,
+                },
+            );
         }
     }
 

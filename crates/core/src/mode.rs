@@ -161,17 +161,15 @@ pub fn decide_modes<S: Semiring>(
             TileMode::Local => n_local += 1,
             TileMode::Remote => n_remote += 1,
         }
-        comm.flight(|f| {
-            f.record(
-                tag_prefix,
-                FlightEventKind::TileMode {
-                    rb,
-                    cb,
-                    peer: i as u32,
-                    remote: mode == TileMode::Remote,
-                },
-            )
-        });
+        comm.flight_record(
+            tag_prefix,
+            FlightEventKind::TileMode {
+                rb,
+                cb,
+                peer: i as u32,
+                remote: mode == TileMode::Remote,
+            },
+        );
         serve.insert((i, rb, cb), mode);
         sends[i].push((rb, cb, mode as u8));
     }

@@ -1,0 +1,259 @@
+//! Folded-stack flamegraph rendering (for `inspect flame`).
+//!
+//! Input is the classic folded format the telemetry sampler emits — one
+//! `frame;frame;frame count` line per distinct stack — and output is a
+//! self-contained SVG (no scripts, no external fonts): an icicle layout with
+//! the root row on top, each frame's width proportional to its inclusive
+//! sample count, a hover tooltip (`<title>`) carrying the exact numbers, and
+//! deterministic per-frame colors so two renders of the same run diff clean.
+
+use std::collections::BTreeMap;
+
+/// One parsed stack: frames outermost-first plus its sample count.
+pub type Stack = (Vec<String>, u64);
+
+/// Parses folded-stack text. Lines are `a;b;c N`; blank lines are skipped;
+/// a line without a trailing integer is an error.
+pub fn parse_folded(body: &str) -> Result<Vec<Stack>, String> {
+    let mut out = Vec::new();
+    for (idx, line) in body.lines().enumerate() {
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        let (stack, count) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {}: no sample count", idx + 1))?;
+        let count: u64 = count
+            .parse()
+            .map_err(|_| format!("line {}: bad sample count {count:?}", idx + 1))?;
+        let frames: Vec<String> = stack.split(';').map(str::to_string).collect();
+        if frames.is_empty() || frames.iter().any(String::is_empty) {
+            return Err(format!("line {}: empty frame in {stack:?}", idx + 1));
+        }
+        out.push((frames, count));
+    }
+    Ok(out)
+}
+
+/// Aggregation tree node. `own` counts samples ending exactly here;
+/// children carry the rest.
+#[derive(Default)]
+struct Node {
+    own: u64,
+    children: BTreeMap<String, Node>,
+}
+
+impl Node {
+    fn total(&self) -> u64 {
+        self.own + self.children.values().map(Node::total).sum::<u64>()
+    }
+
+    fn insert(&mut self, frames: &[String], count: u64) {
+        match frames.split_first() {
+            None => self.own += count,
+            Some((head, rest)) => self
+                .children
+                .entry(head.clone())
+                .or_default()
+                .insert(rest, count),
+        }
+    }
+
+    fn depth(&self) -> usize {
+        1 + self.children.values().map(Node::depth).max().unwrap_or(0)
+    }
+}
+
+const WIDTH: f64 = 1200.0;
+const ROW_H: f64 = 18.0;
+const PAD: f64 = 10.0;
+const HEADER: f64 = 28.0;
+/// Frames narrower than this are drawn but not labeled.
+const MIN_LABEL_W: f64 = 35.0;
+
+/// Deterministic warm color per frame name (FNV-1a hash → hue).
+fn color(name: &str) -> String {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    let r = 205 + (h % 50) as u8;
+    let g = 80 + ((h >> 8) % 110) as u8;
+    let b = 20 + ((h >> 16) % 40) as u8;
+    format!("rgb({r},{g},{b})")
+}
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+fn render_node(
+    out: &mut String,
+    name: &str,
+    node: &Node,
+    x: f64,
+    depth: usize,
+    per_sample: f64,
+    grand_total: u64,
+) -> f64 {
+    let total = node.total();
+    let w = total as f64 * per_sample;
+    let y = HEADER + depth as f64 * ROW_H;
+    let pct = 100.0 * total as f64 / grand_total.max(1) as f64;
+    out.push_str(&format!(
+        "<g><title>{} ({} samples, {:.2}%)</title>\
+         <rect x=\"{:.2}\" y=\"{:.2}\" width=\"{:.2}\" height=\"{:.2}\" \
+         fill=\"{}\" rx=\"2\" stroke=\"white\" stroke-width=\"0.5\"/>",
+        esc(name),
+        total,
+        pct,
+        x,
+        y,
+        w.max(0.5),
+        ROW_H - 1.0,
+        color(name),
+    ));
+    if w >= MIN_LABEL_W {
+        // ~7px per char at font-size 11; clip the label to the box.
+        let max_chars = ((w - 6.0) / 6.6) as usize;
+        let label: String = if name.len() > max_chars {
+            name.chars()
+                .take(max_chars.saturating_sub(1))
+                .chain("…".chars())
+                .collect()
+        } else {
+            name.to_string()
+        };
+        out.push_str(&format!(
+            "<text x=\"{:.2}\" y=\"{:.2}\" font-size=\"11\" \
+             font-family=\"monospace\" fill=\"#1a1a1a\">{}</text>",
+            x + 3.0,
+            y + ROW_H - 5.5,
+            esc(&label)
+        ));
+    }
+    out.push_str("</g>\n");
+    let mut child_x = x;
+    for (child_name, child) in &node.children {
+        child_x = render_node(
+            out,
+            child_name,
+            child,
+            child_x,
+            depth + 1,
+            per_sample,
+            grand_total,
+        );
+    }
+    x + w
+}
+
+/// Renders parsed stacks into a standalone SVG document.
+pub fn svg(stacks: &[Stack], title: &str) -> String {
+    let mut root = Node::default();
+    for (frames, count) in stacks {
+        root.insert(frames, *count);
+    }
+    let grand_total = root.total();
+    let depth = root.depth(); // root level itself draws nothing
+    let height = HEADER + (depth.saturating_sub(1).max(1)) as f64 * ROW_H + PAD;
+    let per_sample = if grand_total == 0 {
+        0.0
+    } else {
+        (WIDTH - 2.0 * PAD) / grand_total as f64
+    };
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{WIDTH}\" \
+         height=\"{height:.0}\" viewBox=\"0 0 {WIDTH} {height:.0}\">\n\
+         <rect width=\"100%\" height=\"100%\" fill=\"#fdfdf6\"/>\n\
+         <text x=\"{PAD}\" y=\"19\" font-size=\"14\" font-family=\"monospace\" \
+         fill=\"#1a1a1a\">{} — {} samples</text>\n",
+        esc(title),
+        grand_total
+    ));
+    if grand_total == 0 {
+        out.push_str(&format!(
+            "<text x=\"{PAD}\" y=\"{:.0}\" font-size=\"12\" \
+             font-family=\"monospace\" fill=\"#888\">no samples</text>\n",
+            HEADER + ROW_H
+        ));
+    } else {
+        let mut x = PAD;
+        for (name, child) in &root.children {
+            x = render_node(&mut out, name, child, x, 0, per_sample, grand_total);
+        }
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_folded_lines() {
+        let stacks = parse_folded("rank 0;ts;ts:pack 12\nrank 0;ts 3\n\n").unwrap();
+        assert_eq!(stacks.len(), 2);
+        assert_eq!(stacks[0].0, vec!["rank 0", "ts", "ts:pack"]);
+        assert_eq!(stacks[0].1, 12);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse_folded("nocount").is_err());
+        assert!(parse_folded("a;b NaNsamples").is_err());
+        assert!(parse_folded("a;;b 3").is_err());
+    }
+
+    #[test]
+    fn svg_contains_each_frame_once_with_proportions() {
+        let stacks = parse_folded("rank 0;ts;ts:pack 30\nrank 0;ts;ts:kernel 10\n").unwrap();
+        let doc = svg(&stacks, "test run");
+        assert!(doc.starts_with("<svg"));
+        assert!(doc.ends_with("</svg>\n"));
+        assert!(doc.contains("ts:pack (30 samples, 75.00%)"));
+        assert!(doc.contains("ts:kernel (10 samples, 25.00%)"));
+        assert!(doc.contains("rank 0 (40 samples, 100.00%)"));
+        assert!(doc.contains("test run — 40 samples"));
+    }
+
+    #[test]
+    fn svg_escapes_markup_in_frames() {
+        let stacks = vec![(vec!["a<b>&\"c\"".to_string()], 1u64)];
+        let doc = svg(&stacks, "t");
+        assert!(doc.contains("a&lt;b&gt;&amp;&quot;c&quot;"));
+        assert!(!doc.contains("a<b>"));
+    }
+
+    #[test]
+    fn empty_input_renders_placeholder() {
+        let doc = svg(&[], "empty");
+        assert!(doc.contains("no samples"));
+        assert!(doc.contains("</svg>"));
+    }
+
+    #[test]
+    fn colors_are_deterministic() {
+        assert_eq!(color("ts:pack"), color("ts:pack"));
+        assert_ne!(color("ts:pack"), color("ts:kernel"));
+    }
+
+    #[test]
+    fn sibling_frames_partition_parent_width() {
+        // Two children of one parent: their widths must sum to the parent's.
+        let stacks = parse_folded("r;parent;a 10\nr;parent;b 30\n").unwrap();
+        let doc = svg(&stacks, "t");
+        // Parent spans 40 samples = full usable width.
+        assert!(doc.contains("parent (40 samples, 100.00%)"));
+        assert!(doc.contains("a (10 samples, 25.00%)"));
+        assert!(doc.contains("b (30 samples, 75.00%)"));
+    }
+}

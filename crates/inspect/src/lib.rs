@@ -12,18 +12,26 @@
 //! * [`regress`] — baseline-vs-current bench comparison with a tolerance,
 //!   nonzero exit on regression (the CI perf gate);
 //! * [`lint`] — cross-artifact consistency (every metrics phase must appear
-//!   in the trace);
-//! * [`html`] — a self-contained HTML report of all of the above.
+//!   in the trace, truncated flight tags are flagged);
+//! * [`html`] — a self-contained HTML report of all of the above;
+//! * [`prom`] — Prometheus text-exposition lint for the live telemetry
+//!   endpoint (the CI scrape gate);
+//! * [`flame`] — folded span stacks → self-contained SVG flamegraph;
+//! * [`top`] — a live terminal view polling `/snapshot.json` (straggler
+//!   rank, phases, rates, rank×rank comm-matrix heatmap).
 //!
 //! No dependencies by design: the binary must build anywhere the toolchain
 //! exists, and it parses JSON with its own [`json`] module.
 
 pub mod drift;
+pub mod flame;
 pub mod html;
 pub mod imbalance;
 pub mod json;
 pub mod lint;
+pub mod prom;
 pub mod regress;
+pub mod top;
 
 pub use json::{parse, Json, JsonError};
 

@@ -1,0 +1,314 @@
+//! Prometheus text-exposition lint (for `inspect lint-prom`).
+//!
+//! The telemetry endpoint hand-writes exposition format 0.0.4; this module
+//! is the consumer-side check that what it writes would actually be accepted
+//! by a scraper. It validates structure, not semantics:
+//!
+//! * metric names and label names match the Prometheus grammar;
+//! * label values are properly quoted and escaped;
+//! * sample values parse as floats (`NaN`/`+Inf`/`-Inf` allowed);
+//! * every sample belongs to a family declared by a preceding `# TYPE`
+//!   line with a legal type, and `# TYPE`/`# HELP` lines are well-formed;
+//! * no two samples share the same name *and* label set (duplicate series).
+
+use std::collections::BTreeSet;
+
+/// Lint outcome for one exposition document.
+#[derive(Clone, Debug, Default)]
+pub struct PromReport {
+    pub errors: Vec<String>,
+    pub warnings: Vec<String>,
+    /// Samples seen (for reporting).
+    pub samples: usize,
+    /// Families declared with `# TYPE`.
+    pub families: usize,
+}
+
+impl PromReport {
+    pub fn ok(&self) -> bool {
+        self.errors.is_empty()
+    }
+}
+
+const LEGAL_TYPES: &[&str] = &["counter", "gauge", "histogram", "summary", "untyped"];
+
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+fn valid_value(v: &str) -> bool {
+    matches!(v, "NaN" | "+Inf" | "-Inf" | "Inf") || v.parse::<f64>().is_ok()
+}
+
+/// Parses `{k="v",...}`, returning the canonicalised label set or an error.
+/// `rest` starts at the `{`.
+fn parse_labels(rest: &str) -> Result<(String, &str), String> {
+    let body = rest.strip_prefix('{').ok_or("expected '{'")?;
+    let mut labels: Vec<(String, String)> = Vec::new();
+    let mut chars = body.char_indices().peekable();
+    loop {
+        // Either a closing brace or a label name.
+        match chars.peek() {
+            Some(&(i, '}')) => {
+                chars.next();
+                let consumed = i + 1;
+                labels.sort();
+                let canon = labels
+                    .iter()
+                    .map(|(k, v)| format!("{k}={v:?}"))
+                    .collect::<Vec<_>>()
+                    .join(",");
+                return Ok((canon, &body[consumed..]));
+            }
+            Some(_) => {}
+            None => return Err("unterminated label set".into()),
+        }
+        // Label name up to '='.
+        let start = chars.peek().map(|&(i, _)| i).unwrap();
+        let mut eq = None;
+        for (i, c) in chars.by_ref() {
+            if c == '=' {
+                eq = Some(i);
+                break;
+            }
+        }
+        let eq = eq.ok_or("label without '='")?;
+        let name = &body[start..eq];
+        if !valid_label_name(name) {
+            return Err(format!("bad label name {name:?}"));
+        }
+        // Quoted value with \\, \", \n escapes.
+        match chars.next() {
+            Some((_, '"')) => {}
+            _ => return Err(format!("label {name:?} value must be quoted")),
+        }
+        let mut value = String::new();
+        let mut closed = false;
+        while let Some((_, c)) = chars.next() {
+            match c {
+                '"' => {
+                    closed = true;
+                    break;
+                }
+                '\\' => match chars.next() {
+                    Some((_, e @ ('\\' | '"'))) => value.push(e),
+                    Some((_, 'n')) => value.push('\n'),
+                    _ => return Err(format!("bad escape in label {name:?}")),
+                },
+                c => value.push(c),
+            }
+        }
+        if !closed {
+            return Err(format!("unterminated value for label {name:?}"));
+        }
+        labels.push((name.to_string(), value));
+        // Separator.
+        match chars.peek() {
+            Some(&(_, ',')) => {
+                chars.next();
+            }
+            Some(&(_, '}')) => {}
+            _ => return Err("expected ',' or '}' after label".into()),
+        }
+    }
+}
+
+/// Lints one exposition document.
+pub fn lint(body: &str) -> PromReport {
+    let mut rep = PromReport::default();
+    let mut declared: BTreeSet<String> = BTreeSet::new();
+    let mut seen_series: BTreeSet<String> = BTreeSet::new();
+
+    for (idx, line) in body.lines().enumerate() {
+        let n = idx + 1;
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.splitn(2, ' ');
+            let name = parts.next().unwrap_or("");
+            let ty = parts.next().unwrap_or("");
+            if !valid_metric_name(name) {
+                rep.errors
+                    .push(format!("line {n}: bad metric name in TYPE: {name:?}"));
+            }
+            if !LEGAL_TYPES.contains(&ty) {
+                rep.errors
+                    .push(format!("line {n}: illegal type {ty:?} for {name}"));
+            }
+            if !declared.insert(name.to_string()) {
+                rep.errors
+                    .push(format!("line {n}: duplicate TYPE for {name}"));
+            }
+            rep.families += 1;
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            if rest
+                .split(' ')
+                .next()
+                .filter(|s| valid_metric_name(s))
+                .is_none()
+            {
+                rep.errors.push(format!("line {n}: bad HELP line"));
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // free-form comment
+        }
+
+        // Sample line: name[{labels}] value [timestamp]
+        let name_end = line.find(['{', ' ']).unwrap_or(line.len());
+        let name = &line[..name_end];
+        if !valid_metric_name(name) {
+            rep.errors
+                .push(format!("line {n}: bad metric name {name:?}"));
+            continue;
+        }
+        let rest = &line[name_end..];
+        let (labels, rest) = if rest.starts_with('{') {
+            match parse_labels(rest) {
+                Ok((canon, r)) => (canon, r),
+                Err(e) => {
+                    rep.errors.push(format!("line {n}: {e}"));
+                    continue;
+                }
+            }
+        } else {
+            (String::new(), rest)
+        };
+        let fields: Vec<&str> = rest.split_whitespace().collect();
+        match fields.as_slice() {
+            [v] | [v, _] => {
+                if !valid_value(v) {
+                    rep.errors.push(format!("line {n}: bad sample value {v:?}"));
+                }
+            }
+            _ => {
+                rep.errors.push(format!(
+                    "line {n}: expected 'value [timestamp]' after {name}"
+                ));
+                continue;
+            }
+        }
+        // `_bucket`/`_sum`/`_count` suffixes belong to their base family.
+        let family = ["_bucket", "_sum", "_count"]
+            .iter()
+            .find_map(|s| name.strip_suffix(s).filter(|b| declared.contains(*b)))
+            .unwrap_or(name);
+        if !declared.contains(family) {
+            rep.warnings
+                .push(format!("line {n}: sample {name} has no preceding # TYPE"));
+        }
+        if !seen_series.insert(format!("{name}{{{labels}}}")) {
+            rep.errors
+                .push(format!("line {n}: duplicate series {name}{{{labels}}}"));
+        }
+        rep.samples += 1;
+    }
+    if rep.samples == 0 {
+        rep.errors.push("no samples in exposition".into());
+    }
+    rep
+}
+
+/// Renders the lint result.
+pub fn render(rep: &PromReport) -> String {
+    let mut out = String::new();
+    for e in &rep.errors {
+        out.push_str(&format!("error: {e}\n"));
+    }
+    for w in &rep.warnings {
+        out.push_str(&format!("warning: {w}\n"));
+    }
+    out.push_str(&format!(
+        "lint-prom: {} sample(s) in {} familie(s), {} error(s), {} warning(s)\n",
+        rep.samples,
+        rep.families,
+        rep.errors.len(),
+        rep.warnings.len()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_well_formed_exposition() {
+        let doc = "\
+# HELP tsgemm_up 1 while alive\n\
+# TYPE tsgemm_up gauge\n\
+tsgemm_up 1\n\
+# TYPE tsgemm_comm_bytes_total counter\n\
+tsgemm_comm_bytes_total{src=\"0\",dst=\"1\",kind=\"AllToAllV\",mode=\"local\"} 96\n\
+tsgemm_comm_bytes_total{src=\"1\",dst=\"0\",kind=\"AllToAllV\",mode=\"remote\"} 32\n";
+        let rep = lint(doc);
+        assert!(rep.ok(), "{:?}", rep.errors);
+        assert!(rep.warnings.is_empty(), "{:?}", rep.warnings);
+        assert_eq!(rep.samples, 3);
+        assert_eq!(rep.families, 2);
+    }
+
+    #[test]
+    fn flags_bad_names_values_and_types() {
+        let rep = lint("# TYPE 9bad gauge\n9bad 1\n");
+        assert!(rep.errors.iter().any(|e| e.contains("bad metric name")));
+        let rep = lint("# TYPE x flavor\nx 1\n");
+        assert!(rep.errors.iter().any(|e| e.contains("illegal type")));
+        let rep = lint("# TYPE x gauge\nx not_a_number\n");
+        assert!(rep.errors.iter().any(|e| e.contains("bad sample value")));
+    }
+
+    #[test]
+    fn flags_duplicate_series_and_undeclared_families() {
+        let rep = lint("# TYPE x gauge\nx{a=\"1\"} 1\nx{a=\"1\"} 2\n");
+        assert!(rep.errors.iter().any(|e| e.contains("duplicate series")));
+        let rep = lint("y 1\n");
+        assert!(rep
+            .warnings
+            .iter()
+            .any(|w| w.contains("no preceding # TYPE")));
+    }
+
+    #[test]
+    fn label_order_does_not_hide_duplicates() {
+        let rep = lint("# TYPE x gauge\nx{a=\"1\",b=\"2\"} 1\nx{b=\"2\",a=\"1\"} 2\n");
+        assert!(rep.errors.iter().any(|e| e.contains("duplicate series")));
+    }
+
+    #[test]
+    fn escaped_label_values_parse() {
+        let rep = lint("# TYPE x gauge\nx{p=\"a\\\"b\\\\c\\nd\"} 1\n");
+        assert!(rep.ok(), "{:?}", rep.errors);
+    }
+
+    #[test]
+    fn empty_document_is_an_error() {
+        assert!(!lint("").ok());
+        assert!(!lint("# TYPE x gauge\n").ok());
+    }
+
+    #[test]
+    fn special_float_values_allowed() {
+        let rep = lint("# TYPE x gauge\nx NaN\n# TYPE y gauge\ny +Inf\n");
+        assert!(rep.ok(), "{:?}", rep.errors);
+    }
+}

@@ -21,9 +21,10 @@
 //! [`CommError::PeerExited`] instead of an eternal hang.
 
 use crate::fault::{CommError, FailureInfo, FaultCtx, FaultKind, ParkedPosition};
-use crate::flight::{FlightEventKind, FlightRecorder};
+use crate::flight::{FlightEventKind, FlightRecorder, FlightTag};
 use crate::metrics::MetricsRegistry;
 use crate::stats::{CollKind, CollectiveRecord, GroupInfo, RankProfile};
+use crate::telemetry::{RankTelemetry, TelEventKind};
 use crate::trace::TraceConfig;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
@@ -123,6 +124,9 @@ pub struct Comm {
     /// empty fault plans), which keeps every hot path exactly as fast and
     /// as deterministic as an uninstrumented run.
     fault: Option<FaultCtx>,
+    /// Live-telemetry producer handle; `None` unless `TSGEMM_TELEMETRY_ADDR`
+    /// is set, so an untelemetered run pays one branch per event site.
+    telemetry: Option<RankTelemetry>,
 }
 
 impl Comm {
@@ -146,11 +150,24 @@ impl Comm {
             flight,
             trace,
             fault: None,
+            telemetry: None,
         }
     }
 
     pub(crate) fn set_fault(&mut self, ctx: FaultCtx) {
         self.fault = Some(ctx);
+    }
+
+    pub(crate) fn set_telemetry(&mut self, tel: RankTelemetry) {
+        self.telemetry = Some(tel);
+    }
+
+    /// Forwards an event to the live-telemetry ring, when telemetry is on.
+    #[inline]
+    fn tel(&self, tag: &str, kind: TelEventKind) {
+        if let Some(t) = &self.telemetry {
+            t.emit(tag, kind);
+        }
     }
 
     /// True when this communicator runs under an active fault plan. Callers
@@ -238,12 +255,20 @@ impl Comm {
     /// The guard holds the profile handle, not `&self`, so `&mut self`
     /// collectives can run while it is open.
     pub fn span(&self, tag: impl FnOnce() -> String) -> SpanGuard {
-        if self.trace.on() {
-            SpanGuard {
-                inner: Some((Arc::clone(&self.profile), tag(), Instant::now())),
-            }
-        } else {
-            SpanGuard { inner: None }
+        let trace_on = self.trace.on();
+        if !trace_on && self.telemetry.is_none() {
+            return SpanGuard::inactive();
+        }
+        let tag = tag();
+        // Telemetry tracks the live stack (for the sampling profiler and
+        // per-phase occupancy) even when trace recording is off.
+        let tel = self.telemetry.clone().map(|t| {
+            t.emit(&tag, TelEventKind::SpanPush);
+            (t, FlightTag::new(&tag))
+        });
+        SpanGuard {
+            inner: trace_on.then(|| (Arc::clone(&self.profile), tag, Instant::now())),
+            tel,
         }
     }
 
@@ -253,6 +278,16 @@ impl Comm {
     /// even when tracing is off.
     pub fn flight<R>(&self, f: impl FnOnce(&mut FlightRecorder) -> R) -> R {
         f(&mut self.flight.lock())
+    }
+
+    /// Records an algorithm-level event into the flight ring *and* forwards
+    /// it to live telemetry when that is on. Event sites (retries, mode
+    /// decisions, step markers) should prefer this over [`Comm::flight`] so
+    /// the live view and the postmortem ring never disagree.
+    #[inline]
+    pub fn flight_record(&self, tag: &str, kind: FlightEventKind) {
+        self.flight.lock().record(tag, kind);
+        self.tel(tag, TelEventKind::Flight(kind));
     }
 
     fn next_seq(&mut self) -> u64 {
@@ -268,14 +303,14 @@ impl Comm {
     fn fault_entry(&mut self, kind: CollKind, tag: &str) -> Result<EntryFx, CommError> {
         // Flight-record the posting *before* consulting the fault plan, so
         // a crashed rank's ring ends with exactly the collective (seq, kind,
-        // tag) that killed it.
-        self.flight.lock().record(
-            tag,
-            FlightEventKind::CollPosted {
-                seq: self.seq,
-                kind,
-            },
-        );
+        // tag) that killed it. Telemetry sees the same event in the same
+        // order, so a crashed rank's live snapshot agrees with its ring.
+        let posted = FlightEventKind::CollPosted {
+            seq: self.seq,
+            kind,
+        };
+        self.flight.lock().record(tag, posted);
+        self.tel(tag, TelEventKind::Flight(posted));
         let Some(ctx) = &self.fault else {
             return Ok(EntryFx::clean());
         };
@@ -568,15 +603,28 @@ impl Comm {
     ) {
         // `record` runs after `next_seq`, so the completed collective's
         // sequence number is the previous one.
-        self.flight.lock().record(
-            &tag,
-            FlightEventKind::CollDone {
-                seq: self.seq.wrapping_sub(1),
-                kind,
-                sent: bytes_to.iter().map(|&(_, b)| b).sum(),
-                recv: bytes_received,
-            },
-        );
+        let done = FlightEventKind::CollDone {
+            seq: self.seq.wrapping_sub(1),
+            kind,
+            sent: bytes_to.iter().map(|&(_, b)| b).sum(),
+            recv: bytes_received,
+        };
+        self.flight.lock().record(&tag, done);
+        if self.telemetry.is_some() {
+            self.tel(&tag, TelEventKind::Flight(done));
+            // One matrix edge per destination; `bytes_to` is already keyed
+            // by world rank, which is what the rank×rank matrix indexes.
+            for &(dst, bytes) in &bytes_to {
+                self.tel(
+                    &tag,
+                    TelEventKind::Edge {
+                        dst: dst as u32,
+                        kind,
+                        bytes,
+                    },
+                );
+            }
+        }
         let rec = CollectiveRecord {
             kind,
             tag,
@@ -1089,6 +1137,9 @@ impl Comm {
         // keeps running across communicators, so "crash at collective #k"
         // means the k-th collective the rank enters anywhere.
         sub.fault = self.fault.clone();
+        // Splits also share the telemetry ring — all of a rank's
+        // communicators live on one thread, preserving single-producer.
+        sub.telemetry = self.telemetry.clone();
         sub
     }
 }
@@ -1100,18 +1151,24 @@ impl Comm {
 #[must_use = "the span closes when the guard drops; bind it to a named variable"]
 pub struct SpanGuard {
     inner: Option<(Arc<Mutex<RankProfile>>, String, Instant)>,
+    /// Telemetry half: pops the live span stack on drop (pushed in
+    /// [`Comm::span`]), independent of whether trace recording is on.
+    tel: Option<(RankTelemetry, FlightTag)>,
 }
 
 impl SpanGuard {
     /// A guard that records nothing (what [`Comm::span`] returns with
     /// tracing off).
     pub fn inactive() -> Self {
-        Self { inner: None }
+        Self {
+            inner: None,
+            tel: None,
+        }
     }
 
     /// True when dropping this guard will record a span.
     pub fn is_active(&self) -> bool {
-        self.inner.is_some()
+        self.inner.is_some() || self.tel.is_some()
     }
 
     /// Closes the span now (equivalent to dropping the guard).
@@ -1122,6 +1179,9 @@ impl Drop for SpanGuard {
     fn drop(&mut self) {
         if let Some((profile, tag, started)) = self.inner.take() {
             profile.lock().record_span(tag, started);
+        }
+        if let Some((tel, tag)) = self.tel.take() {
+            tel.emit_tag(tag, TelEventKind::SpanPop);
         }
     }
 }

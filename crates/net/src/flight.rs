@@ -38,6 +38,7 @@ pub const FLIGHT_TAG_MAX: usize = 23;
 #[derive(Clone, Copy, PartialEq, Eq)]
 pub struct FlightTag {
     len: u8,
+    truncated: bool,
     buf: [u8; FLIGHT_TAG_MAX],
 }
 
@@ -49,12 +50,22 @@ impl FlightTag {
         }
         let mut buf = [0u8; FLIGHT_TAG_MAX];
         buf[..n].copy_from_slice(&tag.as_bytes()[..n]);
-        Self { len: n as u8, buf }
+        Self {
+            len: n as u8,
+            truncated: n < tag.len(),
+            buf,
+        }
     }
 
     pub fn as_str(&self) -> &str {
         // Construction only ever copies up to a char boundary of valid UTF-8.
         std::str::from_utf8(&self.buf[..self.len as usize]).unwrap_or("")
+    }
+
+    /// True when the original tag exceeded [`FLIGHT_TAG_MAX`] bytes and was
+    /// cut. Truncated tags can collide — `inspect lint-trace` warns on them.
+    pub fn truncated(&self) -> bool {
+        self.truncated
     }
 }
 
@@ -149,6 +160,14 @@ impl FlightRecorder {
     /// construction, so this is a bounds-checked write plus a clock read.
     #[inline]
     pub fn record(&mut self, tag: &str, kind: FlightEventKind) {
+        // Runtime tags are designed to fit inline; a longer one silently
+        // collides after truncation, so catch it in debug builds. (Postmortem
+        // tooling also warns: truncated events carry `"truncated":true` in
+        // flight.jsonl and `inspect lint-trace` flags collisions.)
+        debug_assert!(
+            tag.len() <= FLIGHT_TAG_MAX,
+            "flight tag {tag:?} exceeds FLIGHT_TAG_MAX ({FLIGHT_TAG_MAX} bytes) and will be truncated"
+        );
         let ev = FlightEvent {
             t_secs: self.epoch.elapsed().as_secs_f64(),
             tag: FlightTag::new(tag),
@@ -240,9 +259,14 @@ fn render_event(ev: &FlightEvent) -> String {
 fn event_json(rank: usize, i: u64, ev: &FlightEvent) -> String {
     use crate::metrics::json_string;
     let head = format!(
-        "{{\"rank\":{rank},\"i\":{i},\"t\":{:.9},\"tag\":{}",
+        "{{\"rank\":{rank},\"i\":{i},\"t\":{:.9},\"tag\":{}{}",
         ev.t_secs,
-        json_string(ev.tag.as_str())
+        json_string(ev.tag.as_str()),
+        if ev.tag.truncated() {
+            ",\"truncated\":true"
+        } else {
+            ""
+        }
     );
     let body = match ev.kind {
         FlightEventKind::CollPosted { seq, kind } => {
@@ -301,12 +325,41 @@ mod tests {
     fn tag_truncates_at_char_boundary() {
         let t = FlightTag::new("short");
         assert_eq!(t.as_str(), "short");
+        assert!(!t.truncated());
         let long = "x".repeat(40);
-        assert_eq!(FlightTag::new(&long).as_str().len(), FLIGHT_TAG_MAX);
+        let cut = FlightTag::new(&long);
+        assert_eq!(cut.as_str().len(), FLIGHT_TAG_MAX);
+        assert!(cut.truncated());
         // Multi-byte char straddling the cut must not split.
         let uni = format!("{}é", "a".repeat(FLIGHT_TAG_MAX - 1));
         let cut = FlightTag::new(&uni);
         assert_eq!(cut.as_str(), "a".repeat(FLIGHT_TAG_MAX - 1));
+        assert!(cut.truncated());
+    }
+
+    #[test]
+    fn truncated_tags_are_flagged_in_jsonl() {
+        let ev = FlightEvent {
+            t_secs: 0.0,
+            tag: FlightTag::new(&"y".repeat(40)),
+            kind: FlightEventKind::Retry { attempt: 1 },
+        };
+        let line = event_json(0, 0, &ev);
+        assert!(line.contains("\"truncated\":true"), "{line}");
+        let short = FlightEvent {
+            t_secs: 0.0,
+            tag: FlightTag::new("ok"),
+            kind: FlightEventKind::Retry { attempt: 1 },
+        };
+        assert!(!event_json(0, 0, &short).contains("truncated"));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds FLIGHT_TAG_MAX")]
+    #[cfg(debug_assertions)]
+    fn record_asserts_on_oversized_tag() {
+        let mut r = FlightRecorder::with_capacity(0, 4);
+        r.record(&"z".repeat(40), FlightEventKind::Retry { attempt: 1 });
     }
 
     #[test]

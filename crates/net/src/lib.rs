@@ -36,6 +36,7 @@ pub mod fault;
 pub mod flight;
 pub mod metrics;
 pub mod stats;
+pub mod telemetry;
 pub mod trace;
 pub mod world;
 
@@ -51,6 +52,10 @@ pub use flight::{
 };
 pub use metrics::{Histogram, MetricValue, Metrics, MetricsRegistry};
 pub use stats::{CollKind, CollectiveRecord, PhaseSpan, RankProfile, Segment};
+pub use telemetry::{
+    MatrixSlice, RankSnapshot, RankTelemetry, TelEvent, TelEventKind, Telemetry, TelemetrySnapshot,
+    TELEMETRY_ADDR_ENV,
+};
 pub use trace::{
     chrome_trace_json, phase_rollup, render_rollup, write_trace_files, PhaseRollup, TraceConfig,
 };

@@ -217,6 +217,10 @@ pub struct PhaseRollup {
 /// Builds the per-phase roll-up table from profiles plus the per-rank
 /// metrics registries (the registries contribute retry counts and any
 /// phase the profiles never saw).
+///
+/// Rows come back sorted by phase name — a guarantee, not an accident of
+/// the accumulator: trace artifacts (and the rendered roll-up) must diff
+/// cleanly across runs, so ordering can't depend on segment arrival order.
 pub fn phase_rollup(profiles: &[RankProfile], metrics: &[MetricsRegistry]) -> Vec<PhaseRollup> {
     let mut rows: BTreeMap<String, PhaseRollup> = BTreeMap::new();
     for profile in profiles {
@@ -453,5 +457,29 @@ mod tests {
         });
         assert!(out.profiles.iter().all(|p| p.spans.is_empty()));
         assert!(out.metrics.iter().all(|m| m.is_empty()));
+    }
+
+    #[test]
+    fn phase_rollup_rows_sorted_by_phase_name() {
+        // Phases are entered in non-alphabetical order; the roll-up (and
+        // therefore the rendered artifact) must come back sorted regardless,
+        // so trace artifacts diff cleanly across runs.
+        let out = World::run(2, |comm| {
+            comm.barrier("z:last");
+            comm.barrier("a:first");
+            comm.barrier("m:middle");
+        });
+        let rows = phase_rollup(&out.profiles, &out.metrics);
+        let phases: Vec<&str> = rows.iter().map(|r| r.phase.as_str()).collect();
+        assert_eq!(phases, vec!["a:first", "m:middle", "z:last"]);
+        let mut sorted = phases.clone();
+        sorted.sort_unstable();
+        assert_eq!(phases, sorted);
+        // The rendered table preserves that order.
+        let text = render_rollup(&rows);
+        let a = text.find("a:first").unwrap();
+        let m = text.find("m:middle").unwrap();
+        let z = text.find("z:last").unwrap();
+        assert!(a < m && m < z);
     }
 }

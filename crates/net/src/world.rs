@@ -146,6 +146,10 @@ impl World {
         let flights: Vec<Arc<Mutex<FlightRecorder>>> = (0..p)
             .map(|r| Arc::new(Mutex::new(FlightRecorder::new(r))))
             .collect();
+        let telemetry = crate::telemetry::global();
+        let mut rank_tels: Vec<Option<crate::telemetry::RankTelemetry>> = telemetry
+            .map(|t| t.begin_run(p).into_iter().map(Some).collect())
+            .unwrap_or_default();
 
         let results: Vec<R> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..p)
@@ -154,10 +158,14 @@ impl World {
                     let profile = Arc::clone(&profiles[rank]);
                     let registry = Arc::clone(&metrics[rank]);
                     let flight = Arc::clone(&flights[rank]);
+                    let tel = rank_tels.get_mut(rank).and_then(Option::take);
                     let f = &f;
                     scope.spawn(move || {
                         let mut comm =
                             Comm::new(group, rank, Arc::clone(&profile), registry, flight, trace);
+                        if let Some(t) = tel {
+                            comm.set_telemetry(t);
+                        }
                         let out = f(&mut comm);
                         profile.lock().finish();
                         out
@@ -173,6 +181,10 @@ impl World {
                 .collect()
         });
 
+        if let Some(t) = telemetry {
+            // Seal the run: the endpoint keeps serving this final state.
+            let _ = t.end_run();
+        }
         let profiles = unwrap_arcs(profiles, |p| p.snapshot());
         let metrics = unwrap_arcs(metrics, |m| m.clone());
         let flights = unwrap_arcs(flights, |fl| fl.clone());
@@ -232,6 +244,10 @@ impl World {
         let inject = !plan.is_empty();
         let plan = Arc::new(plan.clone());
         let board = FailureBoard::new();
+        let telemetry = crate::telemetry::global();
+        let mut rank_tels: Vec<Option<crate::telemetry::RankTelemetry>> = telemetry
+            .map(|t| t.begin_run(p).into_iter().map(Some).collect())
+            .unwrap_or_default();
 
         let outcomes: Vec<Result<R, String>> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..p)
@@ -242,10 +258,14 @@ impl World {
                     let flight = Arc::clone(&flights[rank]);
                     let plan = Arc::clone(&plan);
                     let board = Arc::clone(&board);
+                    let tel = rank_tels.get_mut(rank).and_then(Option::take);
                     let f = &f;
                     scope.spawn(move || {
                         let mut comm =
                             Comm::new(group, rank, Arc::clone(&profile), registry, flight, trace);
+                        if let Some(t) = tel {
+                            comm.set_telemetry(t);
+                        }
                         if inject {
                             comm.set_fault(FaultCtx::new(plan, Arc::clone(&board), rank));
                         }
@@ -286,6 +306,11 @@ impl World {
                 .collect()
         });
 
+        if let Some(t) = telemetry {
+            // Seal even a partly-failed run: crashed ranks' rings were
+            // drained up to the collective that killed them.
+            let _ = t.end_run();
+        }
         let profiles: Vec<RankProfile> = unwrap_arcs(profiles, |p| p.snapshot());
         let metrics: Vec<MetricsRegistry> = unwrap_arcs(metrics, |m| m.clone());
         let flights: Vec<FlightRecorder> = unwrap_arcs(flights, |fl| fl.clone());

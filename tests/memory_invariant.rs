@@ -157,6 +157,36 @@ fn hash_peak_bounded_by_resident_slice() {
 /// touch the heap at all. A per-event allocation would show up as ≥ 10 000
 /// counter increments here; a small tolerance absorbs unrelated test-harness
 /// threads that may allocate while the switch is on.
+/// Telemetry's zero-cost-when-off contract: with `TSGEMM_TELEMETRY_ADDR`
+/// unset, [`telemetry::global`] constructs nothing — no rings, no thread,
+/// no socket — and steady-state calls (one per `World::run`) are
+/// allocation-free, pinned by the counting allocator. This test must live
+/// in this binary (its environment never sets the variable), because the
+/// global is a process-wide `OnceLock` decided at first touch.
+#[test]
+fn telemetry_disabled_constructs_nothing_and_never_allocates() {
+    let _g = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    std::env::remove_var(tsgemm::net::TELEMETRY_ADDR_ENV);
+    alloc::set_enabled(false);
+    alloc::reset();
+
+    alloc::set_enabled(true);
+    let before = alloc::alloc_count();
+    // Includes the very first call (the OnceLock init path reads the env
+    // into a stack buffer and stores `None` inline).
+    for _ in 0..10_000 {
+        assert!(tsgemm::core::trace::telemetry::global().is_none());
+    }
+    let delta = alloc::alloc_count() - before;
+    alloc::set_enabled(false);
+
+    assert!(
+        delta < 8,
+        "disabled telemetry allocated ({delta} allocation calls for 10k \
+         global() probes) — the off path must construct nothing"
+    );
+}
+
 #[test]
 fn flight_recording_allocates_nothing_per_event() {
     let _g = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
